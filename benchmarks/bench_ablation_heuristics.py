@@ -1,0 +1,49 @@
+"""Ablation: **Heuristic 1 vs Heuristic 2** (paper Section 5 / Section 6:
+"In most cases, the two heuristics get the same results. However, the
+second heuristic gives better schedules in one of the cases [elliptic
+2A 1Mp].").
+"""
+
+import pytest
+
+from repro.core import heuristic_1, heuristic_2
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+CASES = [
+    ("diffeq", "1A2M"),
+    ("elliptic", "3A2M"),
+    ("elliptic", "2A1Mp"),   # the paper's H2-wins case
+    ("allpole", "2A1M"),
+    ("biquad", "2A3M"),
+]
+
+
+@pytest.mark.parametrize("bench,tag", CASES)
+def test_h1_vs_h2(benchmark, bench, tag):
+    graph = get_benchmark(bench)
+    model = model_for(tag)
+
+    def run():
+        h1 = heuristic_1(graph, model).length
+        h2 = heuristic_2(graph, model).length
+        return h1, h2
+
+    h1, h2 = run_once(benchmark, run)
+    record(benchmark, bench=bench, resources=model.label(), H1=h1, H2=h2)
+    # H2 never loses to H1 on the paper suite
+    assert h2 <= h1
+
+
+@pytest.mark.parametrize("priority", ["descendants", "height", "combined"])
+def test_priority_ablation(benchmark, priority):
+    """Extension ablation: the list priority barely matters once rotation
+    is in play — all reach the elliptic 3A 2M optimum."""
+    from repro.core import rotation_schedule
+
+    graph = get_benchmark("elliptic")
+    model = model_for("3A2M")
+    res = run_once(benchmark, rotation_schedule, graph, model, priority=priority)
+    record(benchmark, priority=priority, length=res.length)
+    assert res.length == 16

@@ -1,0 +1,55 @@
+"""Extension ablation: **clock-period sweep with operation chaining**
+(paper Section 3: the basic algorithm "works for control steps with
+chained operations"; Section 6 fixes 50 ns with 40 ns adds / 80 ns
+multiplies).
+
+Sweeping the control-step length shows the classic HLS trade-off: longer
+steps chain more operations (fewer CS) but each step is slower — total
+latency in ns is what matters.
+"""
+
+import pytest
+
+from repro.schedule.chaining import chained_full_schedule, paper_technology
+from repro.suite import get_benchmark
+
+from conftest import record, run_once
+
+
+@pytest.mark.parametrize("cs_ns", [50, 80, 100, 120])
+def test_clock_sweep_diffeq(benchmark, cs_ns):
+    timing, _, unit_counts, op_units = paper_technology()
+    graph = get_benchmark("diffeq")
+
+    sched = run_once(
+        benchmark, chained_full_schedule, graph, timing, cs_ns, unit_counts, op_units
+    )
+    record(
+        benchmark,
+        cs_ns=cs_ns,
+        control_steps=sched.length,
+        latency_ns=sched.length * cs_ns,
+        chains=len(sched.chains()),
+    )
+    assert sched.violations() == []
+    if cs_ns >= 80:
+        assert sched.chains()  # something chained once the window allows
+
+
+def test_paper_50ns_matches_integral_model(benchmark):
+    """At the paper's 50 ns clock, chained scheduling degenerates to the
+    integral 1-CS-add / 2-CS-mult model used everywhere else."""
+    from repro.baselines import dag_list_schedule
+    from repro.schedule import ResourceModel
+
+    timing, cs, unit_counts, op_units = paper_technology(50)
+    graph = get_benchmark("diffeq")
+
+    def run():
+        chained = chained_full_schedule(graph, timing, cs, unit_counts, op_units)
+        integral = dag_list_schedule(graph, ResourceModel.adders_mults(1, 1))
+        return chained.length, integral.length
+
+    chained_len, integral_len = run_once(benchmark, run)
+    record(benchmark, chained=chained_len, integral=integral_len)
+    assert chained_len == integral_len

@@ -1,0 +1,43 @@
+"""Regenerates the **Section 5 convergence study** with full trajectories:
+best schedule length after every rotation, per phase size and per
+heuristic, rendered as an SVG step chart in the benchmark record.
+"""
+
+import pytest
+
+from repro.report.convergence import (
+    convergence_svg,
+    heuristic_sweep,
+    phase_size_sweep,
+)
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+
+def test_convergence_by_phase_size(benchmark):
+    graph = get_benchmark("elliptic")
+    model = model_for("3A2M")
+    curves = run_once(
+        benchmark, phase_size_sweep, graph, model, sizes=[1, 2, 4, 8], beta=40
+    )
+    record(
+        benchmark,
+        finals={c.label: c.final for c in curves},
+        rotations_to_16={c.label: c.rotations_to(16) for c in curves},
+        svg_chars=len(convergence_svg(curves, title="elliptic 3A2M")),
+    )
+    assert any(c.final == 16 for c in curves)
+    # the paper's trend: some larger size converges no slower than size 1
+    by_label = {c.label: c.rotations_to(16) for c in curves}
+    converged = {k: v for k, v in by_label.items() if v is not None}
+    if "size 1" in converged:
+        assert min(converged.values()) <= converged["size 1"]
+
+
+def test_convergence_h1_vs_h2(benchmark):
+    graph = get_benchmark("diffeq")
+    model = model_for("1A1Mp")
+    curves = run_once(benchmark, heuristic_sweep, graph, model, beta=16)
+    record(benchmark, finals={c.label: c.final for c in curves})
+    assert all(c.final == 6 for c in curves)

@@ -1,0 +1,40 @@
+"""Regenerates **Figure 5**: depth reduction of a rotation function.
+
+Paper setting: an optimal diffeq schedule found after 7 rotations of size
+2 carries a rotation function of depth 4; the Section 3.2 shortest-path
+algorithm realizes the same schedule with depth 2.
+"""
+
+from repro.schedule import ResourceModel
+from repro.core import RotationState, reduce_depth
+from repro.suite import get_benchmark
+
+from conftest import record, run_once
+
+
+def test_fig5_depth_reduction(benchmark):
+    graph = get_benchmark("diffeq")
+    model = ResourceModel.unit_time(1, 1)
+
+    def run():
+        st = RotationState.initial(graph, model)
+        deepest = 1
+        for _ in range(7):
+            st = st.down_rotate(min(2, st.length - 1))
+            deepest = max(deepest, st.retiming.normalized(graph).depth(graph))
+        shallow = reduce_depth(st.schedule)
+        return st, deepest, shallow
+
+    st, deepest, shallow = run_once(benchmark, run)
+    record(
+        benchmark,
+        schedule_length=st.length,
+        paper_deep_depth=4,
+        measured_deep_depth=deepest,
+        paper_reduced_depth=2,
+        measured_reduced_depth=shallow.depth(graph),
+    )
+    assert st.length == 6
+    assert deepest >= 4
+    assert shallow.depth(graph) == 2
+    assert st.schedule.is_legal_dag_schedule(shallow)

@@ -1,0 +1,46 @@
+"""Regenerates **Figures 6-8**: rotations with the 2-stage multiplier.
+
+Multi-cycle tails lengthen the unwrapped schedule during rotation
+(Figure 6); wrapping the tails around the cylinder recovers the paper's
+length-6 schedule after 8 size-1 rotations (Figure 8), and re-rooting can
+turn the wrapped schedule back into an unwrapped one (Section 4's
+cylinder rotation).
+"""
+
+from repro.schedule import ResourceModel
+from repro.core import RotationState, unwrap_if_possible, wrap
+from repro.report import render_schedule
+from repro.suite import get_benchmark
+
+from conftest import record, run_once
+
+
+def test_fig6_8_wrapping(benchmark):
+    graph = get_benchmark("diffeq")
+    model = ResourceModel.adders_mults(1, 1, pipelined_mults=True)
+
+    def run():
+        st = RotationState.initial(graph, model)
+        spans = [st.length]
+        for _ in range(8):
+            st = st.down_rotate(1)
+            spans.append(st.length)
+        wrapped = wrap(st.schedule, st.retiming)
+        return st, spans, wrapped
+
+    st, spans, wrapped = run_once(benchmark, run)
+    record(
+        benchmark,
+        unwrapped_spans=spans,
+        paper_wrapped_length=6,
+        measured_wrapped_length=wrapped.period,
+        wrapped_nodes=[str(v) for v in wrapped.wrapped_nodes()],
+        schedule=render_schedule(wrapped.schedule, model),
+    )
+    assert wrapped.period == 6           # Figure 8-(b)
+    assert st.length > wrapped.period    # tails made the span longer (Fig 6)
+    assert wrapped.violations() == []
+
+    rerooted = unwrap_if_possible(wrapped)
+    assert rerooted.period == wrapped.period
+    assert rerooted.violations() == []

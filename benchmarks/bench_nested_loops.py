@@ -1,0 +1,54 @@
+"""Extension experiment: **nested loop pipelining** (paper Section 8).
+
+The inner loop (the differential-equation solver) is rotation-scheduled
+and folded into a compound node; the outer loop is then rotation-
+scheduled around it, with ordinary outer operations blending into the
+inner pipeline's idle unit slots.
+"""
+
+from repro.dfg import DFG
+from repro.schedule import ResourceModel
+from repro.core import pipeline_nested_loop
+
+from conftest import record, run_once
+
+
+def _outer() -> DFG:
+    g = DFG("outer")
+    g.add_node("pre1", "add")
+    g.add_node("pre2", "mul")
+    g.add_node("INNER", "compound")
+    g.add_node("post1", "add")
+    g.add_node("post2", "add")
+    g.add_edge("pre1", "pre2", 0)
+    g.add_edge("pre2", "INNER", 0)
+    g.add_edge("INNER", "post1", 0)
+    g.add_edge("post1", "post2", 0)
+    g.add_edge("post2", "pre1", 1)
+    g.add_edge("post1", "pre2", 2)
+    return g
+
+
+def test_nested_diffeq_inner(benchmark):
+    model = ResourceModel.adders_mults(2, 1, pipelined_mults=True)
+
+    def run():
+        return pipeline_nested_loop(
+            inner_graph=__import__("repro.suite", fromlist=["diffeq"]).diffeq(),
+            outer_graph=_outer(),
+            compound_node="INNER",
+            model=model,
+            inner_iterations=4,
+            outer_rotations=6,
+        )
+
+    inner, outer = run_once(benchmark, run)
+    record(
+        benchmark,
+        inner_period=inner.length,
+        inner_depth=inner.depth,
+        outer_length=outer.length,
+        outer_retiming=dict(outer.retiming.items_nonzero()),
+    )
+    assert inner.length == 6
+    assert outer.schedule.violations(outer.retiming) == []

@@ -1,0 +1,50 @@
+"""Extension experiment: scalability of rotation scheduling on synthetic
+DFGs (20-120 nodes).  The paper's complexity claim is O(beta * sigma *
+|V| * |E|) per heuristic run; this bench records the measured growth.
+"""
+
+import pytest
+
+from repro.core import rotation_schedule
+from repro.schedule import ResourceModel
+from repro.sim import verify_pipeline
+from repro.suite import random_dfg, random_dsp_kernel
+
+from conftest import record, run_once
+
+
+@pytest.mark.parametrize("nodes", [20, 40, 80, 120])
+def test_random_dfg_scaling(benchmark, nodes):
+    graph = random_dfg(nodes, seed=42, forward_density=0.08, backward_density=0.05)
+    model = ResourceModel.adders_mults(3, 2)
+    result = run_once(
+        benchmark, rotation_schedule, graph, model, beta=16, sigma=min(8, nodes)
+    )
+    record(
+        benchmark,
+        nodes=nodes,
+        edges=graph.num_edges,
+        initial=result.initial_length,
+        final=result.length,
+        improvement=result.improvement,
+    )
+    assert result.length <= result.initial_length
+
+
+@pytest.mark.parametrize("taps", [4, 8, 12])
+def test_dsp_kernel_scaling_with_verification(benchmark, taps):
+    """Larger FIR/IIR kernels: schedule AND verify semantics end to end."""
+    graph = random_dsp_kernel(taps, seed=7)
+    model = ResourceModel.adders_mults(2, 2, pipelined_mults=True)
+
+    def run():
+        res = rotation_schedule(graph, model, beta=16)
+        report = verify_pipeline(
+            res.schedule, res.retiming, iterations=res.depth + 12, period=res.length
+        )
+        return res, report
+
+    res, report = run_once(benchmark, run)
+    record(benchmark, taps=taps, period=res.length, depth=res.depth,
+           speedup=round(report.speedup_vs_sequential, 2))
+    assert report.matches_reference

@@ -1,0 +1,66 @@
+"""Regenerates **Table 1**: characteristics of the five benchmarks.
+
+Paper row format: Benchmark, #Mults, #Adds, CP, IB — reproduced exactly
+for all five graphs (the characteristics are pinned; the bench times the
+analyses themselves).
+"""
+
+import pytest
+
+from repro.dfg import critical_path_length, iteration_bound_ceil
+from repro.suite import BENCHMARKS, PAPER_TIMING
+
+from conftest import record, run_once
+
+
+@pytest.mark.parametrize("key", list(BENCHMARKS))
+def test_table1_row(benchmark, key):
+    info = BENCHMARKS[key]
+    graph = info.build()
+
+    def analyze():
+        cp = critical_path_length(graph, PAPER_TIMING)
+        ib = iteration_bound_ceil(graph, PAPER_TIMING)
+        hist = graph.ops_histogram()
+        mults = hist.get("mul", 0)
+        return mults, graph.num_nodes - mults, cp, ib
+
+    mults, adds, cp, ib = run_once(benchmark, analyze)
+    record(
+        benchmark,
+        benchmark_name=info.title,
+        paper=(info.mults, info.adds, info.critical_path, info.iteration_bound),
+        measured=(mults, adds, cp, ib),
+    )
+    assert (mults, adds, cp, ib) == (
+        info.mults,
+        info.adds,
+        info.critical_path,
+        info.iteration_bound,
+    )
+
+
+def test_table1_rendering(benchmark):
+    """Also emit the full table in the paper's layout."""
+    from repro.report import render_table1
+
+    def build():
+        rows = []
+        for info in BENCHMARKS.values():
+            g = info.build()
+            hist = g.ops_histogram()
+            mults = hist.get("mul", 0)
+            rows.append(
+                (
+                    info.title,
+                    mults,
+                    g.num_nodes - mults,
+                    critical_path_length(g, PAPER_TIMING),
+                    iteration_bound_ceil(g, PAPER_TIMING),
+                )
+            )
+        return render_table1(rows)
+
+    table = run_once(benchmark, build)
+    record(benchmark, table=table)
+    assert "Elliptic" in table

@@ -1,0 +1,73 @@
+"""Regenerates **Table 2**: the elliptic filter under 7 resource configs.
+
+Paper columns: Resources, LB, PBS, MARS, Lee et al., RS (depth).  The
+competitor numbers are quoted constants from the cited papers (their
+systems are closed); LB is our combined bound; RS is re-run here.
+
+This reproduction matches the paper's RS column on 6 of 7 rows; on 2A 1M
+it finds 18 where the paper reports 19 (paper LB: 17 — the one row where
+the authors' own result exceeded their bound).
+"""
+
+import pytest
+
+from repro.bounds import combined_lower_bound
+from repro.core import rotation_schedule
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+#: tag -> (paper LB, PBS, MARS, Lee, paper RS, paper depth, our expected RS)
+TABLE2 = {
+    "3A3M": (16, 16, None, 16, 16, 2, 16),
+    "3A2M": (16, 17, None, 16, 16, 2, 16),
+    "2A2M": (17, 17, None, 17, 17, 2, 17),
+    "2A1M": (17, 20, None, 19, 19, 2, 18),
+    "3A2Mp": (16, 16, None, 16, 16, 2, 16),
+    "3A1Mp": (16, 16, 16, 16, 16, 2, 16),
+    "2A1Mp": (17, 18, 17, 17, 17, 2, 17),
+}
+
+
+@pytest.mark.parametrize("tag", list(TABLE2))
+def test_table2_row(benchmark, tag):
+    paper_lb, pbs, mars, lee, paper_rs, paper_depth, expected = TABLE2[tag]
+    graph = get_benchmark("elliptic")
+    model = model_for(tag)
+
+    result = run_once(benchmark, rotation_schedule, graph, model)
+    lb = combined_lower_bound(graph, model)
+
+    record(
+        benchmark,
+        resources=model.label(),
+        paper_LB=paper_lb,
+        our_LB=lb.combined,
+        PBS=pbs,
+        MARS=mars,
+        Lee=lee,
+        paper_RS=f"{paper_rs} ({paper_depth})",
+        measured_RS=f"{result.length} ({result.depth})",
+        optimal_schedules_found=result.optimal_count,
+    )
+    assert result.length == expected
+    assert result.length >= lb.combined
+    # RS never loses to the quoted competitor results on matching rows
+    for competitor in (pbs, mars, lee):
+        if competitor is not None:
+            assert result.length <= competitor
+
+
+def test_table2_depths_shallow(benchmark):
+    """Paper: every Table 2 schedule has pipeline depth 2."""
+    graph = get_benchmark("elliptic")
+
+    def run():
+        return [
+            rotation_schedule(graph, model_for(tag)).depth
+            for tag in ("3A3M", "2A2M", "2A1Mp")
+        ]
+
+    depths = run_once(benchmark, run)
+    record(benchmark, depths=depths, paper_depth=2)
+    assert all(d <= 3 for d in depths)

@@ -1,0 +1,47 @@
+"""Regenerates **Table 3 (2-cascaded biquad filter)**: 8 resource configs.
+
+All eight rows match the paper exactly; every one is resource-bound and
+rotation reaches the bound, from period 4 (2A 4M) to the fully serialized
+16 (1A 1M).
+"""
+
+import pytest
+
+from repro.bounds import combined_lower_bound
+from repro.core import rotation_schedule
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+#: tag -> (paper LB, MARS, paper RS, paper depth)
+ROWS = {
+    "2A2Mp": (4, 4, 4, 2),
+    "2A1Mp": (8, None, 8, 2),
+    "1A2Mp": (8, None, 8, 2),
+    "1A1Mp": (8, None, 8, 2),
+    "2A4M": (4, None, 4, 2),
+    "2A3M": (6, None, 6, 2),
+    "1A2M": (8, None, 8, 2),
+    "1A1M": (16, None, 16, 2),
+}
+
+
+@pytest.mark.parametrize("tag", list(ROWS))
+def test_table3_biquad_row(benchmark, tag):
+    paper_lb, mars, paper_rs, paper_depth = ROWS[tag]
+    graph = get_benchmark("biquad")
+    model = model_for(tag)
+    result = run_once(benchmark, rotation_schedule, graph, model)
+    lb = combined_lower_bound(graph, model)
+    record(
+        benchmark,
+        resources=model.label(),
+        paper_LB=paper_lb,
+        our_LB=lb.combined,
+        MARS=mars,
+        paper_RS=f"{paper_rs} ({paper_depth})",
+        measured_RS=f"{result.length} ({result.depth})",
+    )
+    assert result.length == paper_rs
+    assert lb.combined == paper_lb
+    assert result.length >= lb.combined

@@ -1,0 +1,39 @@
+"""Regenerates **Table 3 (differential equation)**: RS vs LB vs MARS.
+
+All three rows match the paper exactly: 6 (2), 6 (2), 12 (2).
+"""
+
+import pytest
+
+from repro.bounds import combined_lower_bound
+from repro.core import rotation_schedule
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+#: tag -> (paper LB, MARS, paper RS, paper depth)
+ROWS = {
+    "1A1Mp": (6, None, 6, 2),
+    "1A2M": (6, None, 6, 2),
+    "1A1M": (12, None, 12, 2),
+}
+
+
+@pytest.mark.parametrize("tag", list(ROWS))
+def test_table3_diffeq_row(benchmark, tag):
+    paper_lb, mars, paper_rs, paper_depth = ROWS[tag]
+    graph = get_benchmark("diffeq")
+    model = model_for(tag)
+    result = run_once(benchmark, rotation_schedule, graph, model)
+    lb = combined_lower_bound(graph, model)
+    record(
+        benchmark,
+        resources=model.label(),
+        paper_LB=paper_lb,
+        our_LB=lb.combined,
+        paper_RS=f"{paper_rs} ({paper_depth})",
+        measured_RS=f"{result.length} ({result.depth})",
+    )
+    assert result.length == paper_rs
+    assert result.depth == paper_depth
+    assert lb.combined == paper_lb

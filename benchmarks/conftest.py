@@ -1,0 +1,32 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one paper table or figure: it runs the real
+experiment once under pytest-benchmark timing (rounds=1 — these are
+experiments, not micro-benchmarks), asserts this reproduction's expected
+outcome, and records paper-vs-measured values in ``extra_info`` so
+``pytest benchmarks/ --benchmark-only`` doubles as the experiment log.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.schedule import ResourceModel
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record(benchmark, **info):
+    """Attach paper-vs-measured info to the benchmark JSON/record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+
+
+def model_for(tag: str) -> ResourceModel:
+    """'3A2M' / '2A1Mp' -> ResourceModel (same parser as the CLI)."""
+    from repro.cli import parse_config
+
+    return parse_config(tag)[0]

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Head-to-head: rotation scheduling vs the classic alternatives.
+
+Reproduces the comparison axis of the paper's Section 7 with open
+re-implementations: plain list scheduling (no pipelining),
+retime-then-schedule (the Cathedral-II flow), iterative modulo
+scheduling (the VLIW software-pipelining flow) and force-directed
+scheduling (the time-constrained flow), across all five paper
+benchmarks.
+
+Run:  python examples/compare_schedulers.py
+"""
+
+from repro import ResourceModel, lower_bound, rotation_schedule
+from repro.baselines import (
+    dag_list_schedule,
+    force_directed_schedule,
+    modulo_schedule,
+    retime_then_schedule,
+)
+from repro.suite import BENCHMARKS, get_benchmark
+from repro.report import render_results_table
+
+
+def main() -> None:
+    model = ResourceModel.adders_mults(2, 2)
+    print(f"datapath: {model.describe()}\n")
+
+    rows = []
+    for key, info in BENCHMARKS.items():
+        graph = get_benchmark(key)
+        lb = lower_bound(graph, model)
+        base = dag_list_schedule(graph, model).length
+        rts = retime_then_schedule(graph, model).length
+        ims = modulo_schedule(graph, model).ii
+        rs = rotation_schedule(graph, model).length
+        fds = force_directed_schedule(graph, model)
+        rows.append(
+            [
+                info.title,
+                lb,
+                base,
+                rts,
+                ims,
+                rs,
+                "*" if rs == lb else "",
+                f"{fds.peak_usage}",
+            ]
+        )
+
+    print(
+        render_results_table(
+            "Schedule lengths (control steps); * = provably optimal",
+            ["Benchmark", "LB", "List", "Retime+LS", "Modulo", "Rotation", "", "FDS peak @CP"],
+            rows,
+        )
+    )
+    print()
+    print("Reading the table:")
+    print(" - 'List' never overlaps iterations: the cost of no pipelining.")
+    print(" - 'Retime+LS' picks its retiming blind to resources (Cathedral II);")
+    print("   rotation explores retimings *under* the resource constraints.")
+    print(" - 'Modulo' is the strong VLIW-style baseline; rotation matches it")
+    print("   on every paper benchmark at this configuration.")
+    print(" - 'FDS peak' shows the resources a time-constrained flow would")
+    print("   provision to meet the critical path (a different trade-off).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Pipeline a *custom* DSP kernel built with the public DFG builder.
+
+The workload is a second-order IIR notch filter followed by an energy
+tap — the kind of small streaming kernel the paper's introduction
+motivates.  The script builds the cyclic DFG from scratch (with real
+arithmetic attached for simulation), schedules it under a small datapath,
+and runs a numeric impulse-response comparison between the sequential
+loop and the rotated pipeline.
+
+Run:  python examples/custom_dsp_pipeline.py
+"""
+
+from repro import DFGBuilder, ResourceModel, rotation_schedule
+from repro.sim import PipelineExecutor, reference_run
+from repro.report import render_schedule
+
+# notch filter coefficients (normalized, stable)
+B0, B1, B2 = 0.9, -1.2, 0.9
+A1, A2 = -1.1, 0.7
+
+
+def build_notch():
+    """y[n] = B0*w[n] + B1*w[n-1] + B2*w[n-2];  w[n] = x[n] - A1*w[n-1] - A2*w[n-2].
+
+    The input x[n] is an impulse generated inside the graph (a one-shot
+    register chain), so the whole kernel is a self-contained cyclic DFG.
+    """
+    b = DFGBuilder("notch", default_op="add")
+
+    # impulse source: a self-loop that starts at 1.0 and decays to 0
+    b.node("x", "mul", func=lambda prev: 0.0 * prev)
+
+    # recursive half: w = x - A1*w' - A2*w''
+    b.node("mA1", "mul", func=lambda w: A1 * w)
+    b.node("mA2", "mul", func=lambda w: A2 * w)
+    b.node("s1", "sub", func=lambda x, a1: x - a1)
+    b.node("w", "sub", func=lambda s, a2: s - a2)
+
+    # feed-forward half: y = B0*w + B1*w' + B2*w''
+    b.node("mB0", "mul", func=lambda w: B0 * w)
+    b.node("mB1", "mul", func=lambda w: B1 * w)
+    b.node("mB2", "mul", func=lambda w: B2 * w)
+    b.node("y1", "add", func=lambda p, q: p + q)
+    b.node("y", "add", func=lambda p, q: p + q)
+
+    # energy tap: e = e' + y*y (accumulated output energy)
+    b.node("sq", "mul", func=lambda v: v * v)
+    b.node("e", "add", func=lambda acc, s: acc + s)
+
+    b.wire("x", "x", delay=1, init=[1.0])          # impulse: 1, 0, 0, ...
+    b.wire("x", "s1")
+    b.wire("mA1", "s1")
+    b.wire("s1", "w")
+    b.wire("mA2", "w")
+    b.wire("w", "mA1", delay=1, init=[0.0])
+    b.wire("w", "mA2", delay=2, init=[0.0, 0.0])
+    b.wire("w", "mB0")
+    b.wire("w", "mB1", delay=1, init=[0.0])
+    b.wire("w", "mB2", delay=2, init=[0.0, 0.0])
+    b.wire("mB0", "y1")
+    b.wire("mB1", "y1")
+    b.wire("y1", "y")
+    b.wire("mB2", "y")
+    b.wire("y", "sq", delay=1, init=[0.0])
+    b.wire("e", "e", delay=1, init=[0.0])
+    b.wire("sq", "e")
+    return b.build()
+
+
+def main() -> None:
+    graph = build_notch()
+    print(f"== {graph.name}: {graph.num_nodes} ops ({graph.ops_histogram()})")
+
+    model = ResourceModel.adders_mults(2, 1, pipelined_mults=True)
+    result = rotation_schedule(graph, model)
+    print(f"-- datapath {model.label()}: {result.initial_length} -> {result.length} CS, "
+          f"depth {result.depth}")
+    print(render_schedule(result.schedule, model, retiming=result.retiming))
+    print()
+
+    # numeric impulse response, sequential vs pipelined
+    n = 24
+    reference = reference_run(graph, n)
+    pipelined = PipelineExecutor(result.schedule, result.retiming, result.length).run(n)
+    print("   n   y[n] (sequential)   y[n] (pipelined)")
+    for i in range(10):
+        print(f"  {i:2}   {reference['y'][i]:+.6f}          {pipelined['y'][i]:+.6f}")
+    worst = max(abs(a - b) for a, b in zip(reference["y"], pipelined["y"]))
+    print(f"\n   max |difference| over {n} samples: {worst:.2e}")
+    assert worst == 0.0
+    print(f"   accumulated output energy: {reference['e'][-1]:.6f}")
+
+
+if __name__ == "__main__":
+    main()

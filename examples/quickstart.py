@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: pipeline the paper's differential-equation solver.
+
+Walks the exact example the paper uses throughout (Figures 1-4): build
+the cyclic DFG, inspect its characteristics, list-schedule it without
+pipelining, improve it by rotation scheduling, display the pipeline, and
+prove by execution that the pipelined loop computes the same values as
+the plain loop.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    PAPER_TIMING,
+    ResourceModel,
+    critical_path_length,
+    dag_list_schedule,
+    diffeq,
+    iteration_bound,
+    rotation_schedule,
+    verify_pipeline,
+)
+from repro.report import gantt, render_schedule, retiming_stages
+
+
+def main() -> None:
+    graph = diffeq()
+    print(f"== {graph.name}: {graph.num_nodes} ops, {graph.total_delay()} loop registers")
+    print(f"   critical path     : {critical_path_length(graph, PAPER_TIMING)} control steps")
+    print(f"   iteration bound   : {iteration_bound(graph, PAPER_TIMING)}")
+    print()
+
+    # The paper's Figure 2 setting: one adder, one multiplier, unit time.
+    model = ResourceModel.unit_time(1, 1)
+
+    baseline = dag_list_schedule(graph, model)
+    print(f"-- without pipelining (list scheduling): {baseline.length} CS")
+    print(render_schedule(baseline.schedule, model))
+    print()
+
+    result = rotation_schedule(graph, model)
+    print(f"-- rotation scheduling: {result.length} CS, pipeline depth {result.depth}")
+    print(f"   ({result.summary()})")
+    print(render_schedule(result.schedule, model, retiming=result.retiming))
+    print()
+    print("-- functional-unit lanes")
+    print(gantt(result.schedule))
+    print()
+    print("-- pipeline stages")
+    print(retiming_stages(result.retiming, graph.nodes))
+    print()
+
+    report = verify_pipeline(result.schedule, result.retiming, iterations=50, period=result.length)
+    print(f"-- execution check: {report}")
+    assert report.matches_reference, "pipelined loop diverged from the reference!"
+    print("   pipelined value streams are bit-identical to the sequential loop")
+
+
+if __name__ == "__main__":
+    main()

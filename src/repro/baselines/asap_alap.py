@@ -1,0 +1,84 @@
+"""Time-constrained ASAP/ALAP scheduling and mobility analysis.
+
+These are the building blocks of the time-constrained flows the paper
+compares against (Lee et al., MARS): schedule to a deadline first, then
+minimize resources.  They operate on the zero-delay DAG (optionally of a
+retimed graph) and ignore resource limits; the *usage profile* they imply
+is the quantity those flows optimize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.dfg.graph import DFG, NodeId, Timing
+from repro.dfg.retiming import Retiming
+from repro.dfg.analysis import alap_times, asap_times, critical_path_length
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class MobilityReport:
+    """ASAP/ALAP windows of every node for a given deadline."""
+
+    deadline: int
+    asap: Dict[NodeId, int]
+    alap: Dict[NodeId, int]
+
+    def mobility(self, node: NodeId) -> int:
+        return self.alap[node] - self.asap[node]
+
+    def critical_nodes(self) -> list:
+        return [v for v in self.asap if self.mobility(v) == 0]
+
+
+def mobility_report(
+    graph: DFG,
+    deadline: Optional[int] = None,
+    timing: Optional[Timing] = None,
+    r: Optional[Retiming] = None,
+) -> MobilityReport:
+    """ASAP/ALAP windows under ``deadline`` (default: the critical path)."""
+    cp = critical_path_length(graph, timing, r)
+    if deadline is None:
+        deadline = cp
+    if deadline < cp:
+        raise SchedulingError(f"deadline {deadline} below critical path {cp}")
+    return MobilityReport(
+        deadline=deadline,
+        asap=asap_times(graph, timing, r),
+        alap=alap_times(graph, deadline, timing, r),
+    )
+
+
+def asap_schedule(graph: DFG, model: ResourceModel, r: Optional[Retiming] = None) -> Schedule:
+    """Resource-unconstrained ASAP schedule (may oversubscribe units)."""
+    return Schedule(graph, model, asap_times(graph, model.timing(), r))
+
+
+def alap_schedule(
+    graph: DFG,
+    model: ResourceModel,
+    deadline: Optional[int] = None,
+    r: Optional[Retiming] = None,
+) -> Schedule:
+    """Resource-unconstrained ALAP schedule for ``deadline``."""
+    timing = model.timing()
+    cp = critical_path_length(graph, timing, r)
+    if deadline is None:
+        deadline = cp
+    if deadline < cp:
+        raise SchedulingError(f"deadline {deadline} below critical path {cp}")
+    return Schedule(graph, model, alap_times(graph, deadline, timing, r))
+
+
+def usage_profile(schedule: Schedule) -> Dict[str, int]:
+    """Peak concurrent unit usage per class — the resource cost a
+    time-constrained flow would have to provision."""
+    peak: Dict[str, int] = {}
+    for (unit, _cs), nodes in schedule.busy_table().items():
+        peak[unit] = max(peak.get(unit, 0), len(nodes))
+    return peak

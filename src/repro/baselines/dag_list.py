@@ -1,0 +1,44 @@
+"""Baseline 0: plain DAG list scheduling — no loop pipelining.
+
+This is where every rotation sequence starts (the paper's ``FullSchedule``
+on the original DFG) and the natural "before" column for speedup claims:
+the loop body is scheduled respecting all zero-delay precedences of the
+*original* graph, and iterations never overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfg.graph import DFG
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.schedule.list_scheduler import full_schedule
+
+
+@dataclass(frozen=True)
+class DagListResult:
+    """Non-pipelined baseline outcome."""
+
+    schedule: Schedule
+    length: int
+
+    @property
+    def retiming(self) -> Retiming:
+        """Always the zero retiming — nothing is pipelined."""
+        return Retiming.zero()
+
+    @property
+    def depth(self) -> int:
+        return 1
+
+
+def dag_list_schedule(
+    graph: DFG,
+    model: ResourceModel,
+    priority="descendants",
+) -> DagListResult:
+    """Schedule the original zero-delay DAG under resources; depth 1."""
+    sched = full_schedule(graph, model, None, priority).normalized()
+    return DagListResult(schedule=sched, length=sched.length)

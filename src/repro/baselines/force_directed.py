@@ -1,0 +1,191 @@
+"""Baseline: force-directed scheduling (Paulin & Knight), time-constrained.
+
+The reference [16] the paper takes its differential-equation example from.
+Given a deadline, FDS places one operation per step so as to balance the
+expected *distribution graphs* of every unit class:
+
+* every unfixed op contributes probability ``1 / |window|`` to each start
+  slot of its ASAP..ALAP window (spread over its occupancy offsets);
+* fixing op ``v`` at step ``t`` has *self force*
+  ``sum_s DG(s) * (x'(s) - x(s))`` where ``x`` is the op's old probability
+  distribution and ``x'`` the fixed one;
+* predecessor/successor forces account for windows the fix squeezes.
+
+The op/step pair with the minimal total force is fixed, windows are
+propagated, and the process repeats.  The output is a resource-feasible*
+balanced schedule and its peak usage per class — the quantity
+time-constrained flows (Lee et al., MARS) minimize.  (*peak usage is
+whatever balance achieves; FDS does not take hard unit counts.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId, Timing
+from repro.dfg.retiming import Retiming
+from repro.dfg.analysis import (
+    alap_times,
+    asap_times,
+    critical_path_length,
+    zero_delay_predecessors,
+    zero_delay_successors,
+)
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class ForceDirectedResult:
+    """Outcome of force-directed scheduling."""
+
+    schedule: Schedule
+    deadline: int
+    peak_usage: Dict[str, int]
+
+    @property
+    def length(self) -> int:
+        return self.schedule.length
+
+
+class _Windows:
+    """Mutable ASAP/ALAP windows with precedence propagation."""
+
+    def __init__(self, graph: DFG, timing: Timing, deadline: int, r: Optional[Retiming]):
+        self.graph = graph
+        self.timing = timing
+        self.r = r
+        self.lo = dict(asap_times(graph, timing, r))
+        self.hi = dict(alap_times(graph, deadline, timing, r))
+        for v in graph.nodes:
+            if self.lo[v] > self.hi[v]:
+                raise SchedulingError(f"deadline infeasible at node {v!r}")
+
+    def fix(self, node: NodeId, step: int) -> None:
+        self.lo[node] = self.hi[node] = step
+        self._propagate()
+
+    def _propagate(self) -> None:
+        graph, timing, r = self.graph, self.timing, self.r
+        for _ in range(graph.num_nodes):
+            changed = False
+            for v in graph.nodes:
+                t_v = graph.time(v, timing)
+                for w in zero_delay_successors(graph, v, r):
+                    if self.lo[v] + t_v > self.lo[w]:
+                        self.lo[w] = self.lo[v] + t_v
+                        changed = True
+                for u in zero_delay_predecessors(graph, v, r):
+                    t_u = graph.time(u, timing)
+                    if self.hi[v] - t_u < self.hi[u]:
+                        self.hi[u] = self.hi[v] - t_u
+                        changed = True
+            if not changed:
+                return
+        raise SchedulingError("window propagation failed to converge")  # pragma: no cover
+
+    def probability(self, node: NodeId) -> Dict[int, float]:
+        width = self.hi[node] - self.lo[node] + 1
+        return {s: 1.0 / width for s in range(self.lo[node], self.hi[node] + 1)}
+
+
+def _distribution_graphs(
+    graph: DFG,
+    model: ResourceModel,
+    windows: _Windows,
+) -> Dict[str, Dict[int, float]]:
+    dgs: Dict[str, Dict[int, float]] = {u.name: {} for u in model.units}
+    for v in graph.nodes:
+        op = graph.op(v)
+        unit = model.unit_for_op(op)
+        for s, p in windows.probability(v).items():
+            for off in model.busy_offsets(op):
+                slot = s + off
+                dgs[unit.name][slot] = dgs[unit.name].get(slot, 0.0) + p
+    return dgs
+
+
+def _self_force(
+    graph: DFG,
+    model: ResourceModel,
+    dgs: Dict[str, Dict[int, float]],
+    windows: _Windows,
+    node: NodeId,
+    step: int,
+) -> float:
+    op = graph.op(node)
+    unit = model.unit_for_op(op)
+    dg = dgs[unit.name]
+    old = windows.probability(node)
+    force = 0.0
+    for s, p in old.items():
+        delta = (1.0 if s == step else 0.0) - p
+        for off in model.busy_offsets(op):
+            force += dg.get(s + off, 0.0) * delta
+    return force
+
+
+def force_directed_schedule(
+    graph: DFG,
+    model: ResourceModel,
+    deadline: Optional[int] = None,
+    r: Optional[Retiming] = None,
+    neighbour_weight: float = 0.5,
+) -> ForceDirectedResult:
+    """Time-constrained FDS over the zero-delay DAG of ``Gr``.
+
+    Args:
+        graph: the DFG.
+        model: supplies timing and unit classes (counts are *not* hard
+            limits here — FDS balances usage instead).
+        deadline: schedule deadline (default: critical path).
+        r: optional retiming whose DAG to schedule.
+        neighbour_weight: weight of predecessor/successor forces.
+    """
+    timing = model.timing()
+    cp = critical_path_length(graph, timing, r)
+    if deadline is None:
+        deadline = cp
+    windows = _Windows(graph, timing, deadline, r)
+    unfixed = set(graph.nodes)
+
+    while unfixed:
+        dgs = _distribution_graphs(graph, model, windows)
+        best: Optional[Tuple[float, int, NodeId, int]] = None
+        index = {v: i for i, v in enumerate(graph.nodes)}
+        for v in sorted(unfixed, key=lambda u: index[u]):
+            if windows.lo[v] == windows.hi[v]:
+                best = (float("-inf"), index[v], v, windows.lo[v])
+                break
+            for step in range(windows.lo[v], windows.hi[v] + 1):
+                force = _self_force(graph, model, dgs, windows, v, step)
+                # neighbour forces: squeezing pred/succ windows
+                for u in zero_delay_predecessors(graph, v, r):
+                    if u in unfixed:
+                        new_hi = min(windows.hi[u], step - graph.time(u, timing))
+                        if new_hi < windows.hi[u]:
+                            force += neighbour_weight * (windows.hi[u] - new_hi)
+                for w in zero_delay_successors(graph, v, r):
+                    if w in unfixed:
+                        new_lo = max(windows.lo[w], step + graph.time(v, timing))
+                        if new_lo > windows.lo[w]:
+                            force += neighbour_weight * (new_lo - windows.lo[w])
+                if best is None or (force, index[v], str(v), step) < (
+                    best[0],
+                    best[1],
+                    str(best[2]),
+                    best[3],
+                ):
+                    best = (force, index[v], v, step)
+        assert best is not None
+        _, _, node, step = best
+        windows.fix(node, step)
+        unfixed.discard(node)
+
+    sched = Schedule(graph, model, {v: windows.lo[v] for v in graph.nodes})
+    peak: Dict[str, int] = {}
+    for (unit, _cs), nodes in sched.busy_table().items():
+        peak[unit] = max(peak.get(unit, 0), len(nodes))
+    return ForceDirectedResult(schedule=sched, deadline=deadline, peak_usage=peak)

@@ -1,0 +1,108 @@
+"""Interconnect cost of a bound pipelined schedule.
+
+Paper Section 8 names interconnection cost ([22]: *communication
+sensitive rotation scheduling*) as the natural next constraint after
+schedule length.  With a schedule, a unit assignment and a register
+binding fixed, the datapath's multiplexing is determined:
+
+* each functional-unit operand port reads, over the period's control
+  steps, from some set of distinct sources (registers) — a multiplexer of
+  that width;
+* each register is written by some set of distinct unit instances —
+  another multiplexer.
+
+The interconnect cost used here is the total number of *extra* mux inputs
+``sum(max(0, width - 1))`` over all ports — zero for a datapath where
+every port has a single dedicated source.  Like the register requirement,
+this cost varies across the tied-optimal schedule set Q, so it plugs into
+:func:`repro.binding.selection.select_schedule` as an alternative
+selection objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.dfg.graph import NodeId
+from repro.core.wrapping import WrappedSchedule
+from repro.binding.lifetimes import LifetimeAnalyzer
+from repro.binding.left_edge import bind_schedule
+
+
+@dataclass(frozen=True)
+class InterconnectReport:
+    """Mux structure of one bound datapath."""
+
+    port_sources: Dict[Tuple[str, int, int], FrozenSet[int]]  # (unit, inst, port) -> regs
+    register_writers: Dict[int, FrozenSet[Tuple[str, int]]]   # reg -> unit instances
+    cost: int
+
+    @property
+    def widest_mux(self) -> int:
+        widths = [len(s) for s in self.port_sources.values()] + [
+            len(s) for s in self.register_writers.values()
+        ]
+        return max(widths, default=0)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"interconnect: cost {self.cost}, widest mux {self.widest_mux}, "
+            f"{len(self.port_sources)} unit ports, "
+            f"{len(self.register_writers)} registers written"
+        )
+
+
+def interconnect_report(wrapped: WrappedSchedule) -> InterconnectReport:
+    """Analyze the mux structure implied by a wrapped schedule.
+
+    Uses the schedule's recorded unit instances (greedy fallback when
+    absent) and a left-edge register binding of the steady window.
+    """
+    sched = wrapped.schedule.normalized()
+    graph = sched.graph
+    model = sched.model
+    binding = bind_schedule(sched, wrapped.retiming, wrapped.period)
+    analyzer = LifetimeAnalyzer(sched, wrapped.retiming, wrapped.period)
+    mid_iter = analyzer.depth + 2
+
+    def reg_of(node: NodeId, iteration: int) -> int:
+        return binding.assignment.get((node, iteration), -1)
+
+    fallback: Dict[str, int] = {}
+    instance: Dict[NodeId, int] = {}
+    for v in graph.nodes:
+        unit = model.unit_for_op(graph.op(v))
+        k = sched.unit_index(v)
+        if k is None:
+            k = fallback.get(unit.name, 0)
+            fallback[unit.name] = (k + 1) % unit.count
+        instance[v] = k
+
+    port_sources: Dict[Tuple[str, int, int], set] = {}
+    register_writers: Dict[int, set] = {}
+    for v in graph.nodes:
+        unit = model.unit_for_op(graph.op(v))
+        key_base = (unit.name, instance[v])
+        for port, e in enumerate(graph.in_edges(v)):
+            src_reg = reg_of(e.src, mid_iter - e.delay)
+            if src_reg < 0:
+                continue
+            port_sources.setdefault((*key_base, port), set()).add(src_reg)
+        out_reg = reg_of(v, mid_iter)
+        if out_reg >= 0:
+            register_writers.setdefault(out_reg, set()).add(key_base)
+
+    cost = sum(max(0, len(s) - 1) for s in port_sources.values()) + sum(
+        max(0, len(s) - 1) for s in register_writers.values()
+    )
+    return InterconnectReport(
+        port_sources={k: frozenset(v) for k, v in port_sources.items()},
+        register_writers={k: frozenset(v) for k, v in register_writers.items()},
+        cost=cost,
+    )
+
+
+def interconnect_cost(wrapped: WrappedSchedule) -> int:
+    """Selection-ready scalar cost (see ``select_schedule(cost=...)``)."""
+    return interconnect_report(wrapped).cost

@@ -1,0 +1,61 @@
+"""Schedule selection among tied-optimal rotation results.
+
+The paper's closing argument for rotation scheduling: "through a sequence
+of rotations, many optimal schedules can be found, which expose more
+chances of optimization for the following stages of high-level
+synthesis".  This module cashes that in: given a
+:class:`~repro.core.scheduler.RotationResult` (whose ``wrapped`` +
+``alternates`` hold every distinct optimal schedule the heuristic saw),
+pick the one minimizing a downstream cost — by default the steady-state
+register requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.scheduler import RotationResult
+from repro.core.wrapping import WrappedSchedule
+from repro.binding.lifetimes import LifetimeAnalyzer
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Outcome of scanning the optimal-schedule set Q."""
+
+    best: WrappedSchedule
+    best_cost: int
+    costs: Tuple[int, ...]
+
+    @property
+    def spread(self) -> int:
+        """How much the downstream cost varies across tied-optimal
+        schedules — the paper's 'more chances of optimization'."""
+        return max(self.costs) - min(self.costs) if self.costs else 0
+
+
+def register_cost(wrapped: WrappedSchedule) -> int:
+    """Steady-state register requirement of one schedule."""
+    return LifetimeAnalyzer.from_wrapped(wrapped).analyze().requirement
+
+
+def select_schedule(
+    result: RotationResult,
+    cost: Callable[[WrappedSchedule], int] = register_cost,
+) -> SelectionReport:
+    """Pick the minimum-cost schedule among all tied-optimal ones.
+
+    Args:
+        result: a rotation-scheduling result (its ``wrapped`` plus
+            ``alternates`` form the candidate set Q).
+        cost: downstream cost function (default: register requirement).
+    """
+    candidates: List[WrappedSchedule] = [result.wrapped, *result.alternates]
+    costs = [cost(w) for w in candidates]
+    best_index = min(range(len(candidates)), key=lambda i: (costs[i], i))
+    return SelectionReport(
+        best=candidates[best_index],
+        best_cost=costs[best_index],
+        costs=tuple(costs),
+    )

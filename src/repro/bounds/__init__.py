@@ -1,0 +1,10 @@
+"""Lower bounds on resource-constrained loop schedules."""
+
+from repro.bounds.lower_bounds import (
+    LowerBoundReport,
+    combined_lower_bound,
+    lower_bound,
+    resource_bound,
+)
+
+__all__ = ["LowerBoundReport", "combined_lower_bound", "lower_bound", "resource_bound"]

@@ -1,0 +1,269 @@
+"""Command-line interface: ``rotsched`` (or ``python -m repro.cli``).
+
+Subcommands:
+
+* ``schedule`` — rotation-schedule a benchmark (or a JSON DFG file) under
+  a resource configuration and print the paper-style table.
+* ``inspect`` — print a DFG's characteristics (ops, CP, IB, cycles).
+* ``bench`` — run one benchmark across a list of resource configurations
+  and print a Table 2/3-style matrix with lower bounds and baselines.
+* ``simulate`` — schedule, then run the pipelined execution against the
+  sequential reference and report the outcome.
+* ``exact`` — prove the optimal initiation interval by branch and bound
+  (small graphs).
+* ``emit`` — schedule, bind registers, and write a Verilog datapath
+  skeleton.
+* ``svg`` — schedule and write an SVG Gantt chart.
+* ``unfold`` — unfold a graph by a factor and write it as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Tuple
+
+from repro.dfg import io as dfg_io
+from repro.dfg.graph import DFG
+from repro.dfg.analysis import critical_path_length
+from repro.dfg.iteration_bound import iteration_bound
+from repro.schedule.resources import ResourceModel
+from repro.core.scheduler import rotation_schedule
+from repro.bounds.lower_bounds import combined_lower_bound
+from repro.suite.registry import BENCHMARKS, PAPER_TIMING, get_benchmark
+from repro.report.tables import render_results_table, render_schedule
+from repro.report.gantt import gantt
+
+
+def _load_graph(spec: str) -> DFG:
+    if spec in BENCHMARKS:
+        return get_benchmark(spec)
+    return dfg_io.load(spec)
+
+
+def parse_config(text: str) -> Tuple[ResourceModel, str]:
+    """Parse a paper-style config tag like ``3A2M`` or ``2A 1Mp``."""
+    compact = text.replace(" ", "").upper()
+    try:
+        a_idx = compact.index("A")
+        adders = int(compact[:a_idx])
+        rest = compact[a_idx + 1 :]
+        pipelined = rest.endswith("P")
+        if pipelined:
+            rest = rest[:-1]
+        if not rest.endswith("M"):
+            raise ValueError
+        mults = int(rest[:-1])
+    except (ValueError, IndexError):
+        raise SystemExit(
+            f"bad resource config {text!r}: expected like '3A2M' or '2A1Mp'"
+        ) from None
+    model = ResourceModel.adders_mults(adders, mults, pipelined_mults=pipelined)
+    return model, model.label()
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    result = rotation_schedule(
+        graph, model, heuristic=args.heuristic, beta=args.beta, priority=args.priority
+    )
+    print(result.summary())
+    print()
+    print(render_schedule(result.schedule, model, retiming=result.retiming))
+    if args.gantt:
+        print()
+        print(gantt(result.schedule))
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    hist = graph.ops_histogram()
+    mults = hist.get("mul", 0)
+    adds = graph.num_nodes - mults
+    cp = critical_path_length(graph, PAPER_TIMING)
+    ib = iteration_bound(graph, PAPER_TIMING)
+    print(f"graph {graph.name or args.graph}")
+    print(f"  nodes: {graph.num_nodes} ({mults} mults, {adds} adder-class)")
+    print(f"  edges: {graph.num_edges} ({graph.total_delay()} delays)")
+    print(f"  critical path: {cp} CS   iteration bound: {ib}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    rows: List[List[object]] = []
+    for cfg in args.resources:
+        model, label = parse_config(cfg)
+        lb = combined_lower_bound(graph, model)
+        result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+        row: List[object] = [label, lb.combined, f"{result.length} ({result.depth})"]
+        if args.baselines:
+            from repro.baselines import dag_list_schedule, modulo_schedule, retime_then_schedule
+
+            row.append(dag_list_schedule(graph, model).length)
+            row.append(modulo_schedule(graph, model).ii)
+            row.append(retime_then_schedule(graph, model).length)
+        rows.append(row)
+    columns = ["Resources", "LB", "RS (depth)"]
+    if args.baselines:
+        columns += ["DAG-list", "Modulo", "Retime+LS"]
+    print(render_results_table(f"Benchmark: {graph.name or args.graph}", columns, rows))
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.executor import verify_pipeline
+    from repro.sim.machine import simulate_machine
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    print(result.summary())
+    report = verify_pipeline(
+        result.schedule, result.retiming, iterations=args.iterations, period=result.length
+    )
+    print(report)
+    machine = simulate_machine(
+        result.schedule, result.retiming, iterations=max(args.iterations // 2, result.depth + 2),
+        period=result.length,
+    )
+    print(machine.summary())
+    return 0 if report.matches_reference and machine.ok else 1
+
+
+def cmd_exact(args: argparse.Namespace) -> int:
+    from repro.baselines.exact import exact_modulo_schedule
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    result = exact_modulo_schedule(
+        graph, model, step_limit=args.step_limit, node_limit=args.node_limit
+    )
+    print(
+        f"{graph.name or args.graph} @ {label}: optimal II = {result.ii} "
+        f"(proven; {result.steps_explored} search steps)"
+    )
+    print("slots:", {str(v): s for v, s in sorted(result.start.items(), key=lambda kv: str(kv[0]))})
+    return 0
+
+
+def cmd_emit(args: argparse.Namespace) -> int:
+    from repro.binding import emit_datapath
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    report = emit_datapath(
+        result.wrapped,
+        module_name=args.module or (graph.name or "pipeline").replace("-", "_"),
+        data_width=args.width,
+    )
+    with open(args.output, "w", encoding="utf-8") as fh:
+        fh.write(report.verilog)
+    print(f"{report} -> {args.output}")
+    return 0
+
+
+def cmd_svg(args: argparse.Namespace) -> int:
+    from repro.report.svg import save_svg, schedule_svg
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    svg = schedule_svg(
+        result.schedule,
+        result.retiming,
+        period=result.length,
+        title=f"{graph.name or args.graph} @ {label} — II {result.length}, depth {result.depth}",
+    )
+    save_svg(svg, args.output)
+    print(f"wrote {args.output} (II {result.length}, depth {result.depth})")
+    return 0
+
+
+def cmd_unfold(args: argparse.Namespace) -> int:
+    from repro.dfg.unfold import unfold
+
+    graph = _load_graph(args.graph)
+    unfolded = unfold(graph, args.factor)
+    dfg_io.save(unfolded, args.output)
+    print(
+        f"unfolded {graph.name or args.graph} x{args.factor}: "
+        f"{unfolded.num_nodes} nodes, {unfolded.num_edges} edges -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rotsched",
+        description="Rotation scheduling: loop pipelining for cyclic data-flow graphs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+        p.add_argument("-r", "--resources", default="2A2M", help="config like 3A2M / 2A1Mp")
+        p.add_argument("--heuristic", choices=["h1", "h2"], default="h2")
+        p.add_argument("--beta", type=int, default=None, help="rotations per phase")
+        p.add_argument("--priority", default="descendants")
+
+    p = sub.add_parser("schedule", help="rotation-schedule a DFG and print the table")
+    add_common(p)
+    p.add_argument("--gantt", action="store_true", help="also print a unit-lane Gantt chart")
+    p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser("inspect", help="print a DFG's characteristics")
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.set_defaults(func=cmd_inspect)
+
+    p = sub.add_parser("bench", help="run one graph across resource configs")
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.add_argument("resources", nargs="+", help="configs like 3A3M 2A1Mp ...")
+    p.add_argument("--heuristic", choices=["h1", "h2"], default="h2")
+    p.add_argument("--beta", type=int, default=None)
+    p.add_argument("--baselines", action="store_true", help="include baseline columns")
+    p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("simulate", help="schedule then verify by execution")
+    add_common(p)
+    p.add_argument("-n", "--iterations", type=int, default=40)
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("exact", help="prove the optimal II by branch and bound")
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.add_argument("-r", "--resources", default="2A2M")
+    p.add_argument("--step-limit", type=int, default=500_000)
+    p.add_argument("--node-limit", type=int, default=40)
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("emit", help="generate a Verilog datapath skeleton")
+    add_common(p)
+    p.add_argument("-o", "--output", default="pipeline.v")
+    p.add_argument("--module", default=None)
+    p.add_argument("--width", type=int, default=16)
+    p.set_defaults(func=cmd_emit)
+
+    p = sub.add_parser("svg", help="render the schedule as an SVG Gantt chart")
+    add_common(p)
+    p.add_argument("-o", "--output", default="schedule.svg")
+    p.set_defaults(func=cmd_svg)
+
+    p = sub.add_parser("unfold", help="unfold a graph and save it as JSON")
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.add_argument("-f", "--factor", type=int, default=2)
+    p.add_argument("-o", "--output", default="unfolded.json")
+    p.set_defaults(func=cmd_unfold)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Pipeline-depth reduction (paper Section 3.2).
+
+A long rotation sequence can accumulate a rotation function ``R`` whose
+spread ``max R - min R`` — and hence the pipeline's prologue/epilogue — is
+far larger than necessary.  The schedule itself often admits a much
+shallower realizing retiming: Theorem 2 turns "find a retiming realizing
+schedule ``s``" into difference constraints solved by single-source
+shortest paths, and the shortest-path solution is pointwise minimal, i.e.
+has the smallest possible ``max r`` among normalized realizing retimings.
+
+The heavy lifting lives in :func:`repro.schedule.verify.realizing_retiming`;
+this module provides the paper-facing names and the depth accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dfg.retiming import Retiming
+from repro.schedule.schedule import Schedule
+from repro.schedule.verify import realizing_retiming
+
+
+def reduce_depth(schedule: Schedule, period: Optional[int] = None) -> Retiming:
+    """Minimal-depth normalized retiming realizing ``schedule``.
+
+    Args:
+        schedule: a legal static schedule (e.g. produced by rotations).
+        period: initiation interval for wrapped schedules; None for plain
+            (unwrapped) schedules.
+
+    Raises:
+        IllegalScheduleError: if no retiming realizes the schedule.
+    """
+    return realizing_retiming(schedule, period)
+
+
+def pipeline_depth(schedule: Schedule, retiming: Retiming) -> int:
+    """Depth ``1 + max r - min r`` of the pipeline ``retiming`` describes
+    (paper Property 2), over the schedule's graph."""
+    return retiming.depth(schedule.graph)
+
+
+def minimal_depth(schedule: Schedule, period: Optional[int] = None) -> int:
+    """Depth of the shallowest pipeline realizing ``schedule``."""
+    return pipeline_depth(schedule, reduce_depth(schedule, period))

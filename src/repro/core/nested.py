@@ -1,0 +1,317 @@
+"""Nested loop pipelining (paper Section 8).
+
+"The rotation technique can be extended to handle nested loop pipelining.
+We schedule loops from inside out.  The innermost loop is scheduled and
+pipelined first, and partitioned into the prologue, static schedule, and
+epilogue.  When rotations are applied on the outer loop, the
+static-schedule part is treated as a compound node, which occupies
+several functional units and takes several control steps to complete.
+[...] Therefore, the schedules of the inner and outer loops blend
+together."
+
+Implementation: an inner loop is rotation-scheduled into a
+:class:`~repro.core.wrapping.WrappedSchedule`; its full execution for a
+given trip count unrolls into a **reservation profile** — for each
+control step of the inner makespan, how many instances of each unit class
+are busy.  The outer loop's DFG then contains a *compound node* carrying
+that profile; a profile-aware list scheduler places ordinary outer
+operations into the compound's idle unit slots (the "blending"), and the
+rotation recipe (deallocate prefix, shift, partial reschedule) applies to
+the outer loop unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.dfg.analysis import (
+    topological_order,
+    zero_delay_predecessors,
+    zero_delay_successors,
+)
+from repro.schedule.resources import ResourceModel
+from repro.schedule.priorities import get_priority
+from repro.core.scheduler import RotationResult, rotation_schedule
+from repro.errors import RotationError, SchedulingError
+
+
+@dataclass(frozen=True)
+class ReservationProfile:
+    """Per-control-step unit usage of a (compound) operation.
+
+    ``usage[t]`` maps unit-class name -> busy instance count at offset
+    ``t``; ``latency`` is when the result is available (== len(usage) for
+    compound nodes).
+    """
+
+    usage: Tuple[Mapping[str, int], ...]
+    latency: int
+
+    @property
+    def duration(self) -> int:
+        return len(self.usage)
+
+    @classmethod
+    def for_op(cls, model: ResourceModel, op: str) -> "ReservationProfile":
+        unit = model.unit_for_op(op)
+        usage = tuple(
+            {unit.name: 1} if off in model.busy_offsets(op) else {}
+            for off in range(unit.latency)
+        )
+        return cls(usage=usage, latency=unit.latency)
+
+
+def inner_loop_profile(result: RotationResult, iterations: int) -> ReservationProfile:
+    """Unroll an inner-loop pipeline into a reservation profile.
+
+    The profile covers prologue + ``iterations`` overlapped bodies +
+    epilogue on the global timeline; offset 0 is the earliest unit use.
+    """
+    from repro.schedule.unrolled import UnrolledSchedule
+
+    depth = result.retiming.depth(result.graph)
+    if iterations < depth:
+        raise SchedulingError(
+            f"inner loop needs at least depth={depth} iterations, got {iterations}"
+        )
+    unrolled = UnrolledSchedule(result.schedule.normalized(), result.retiming, iterations)
+    model = result.model
+    graph = result.graph
+    lo = min(e.global_cs for e in unrolled.entries)
+    hi = max(
+        e.global_cs + model.latency(graph.op(e.node)) for e in unrolled.entries
+    )
+    usage: List[Dict[str, int]] = [dict() for _ in range(hi - lo)]
+    for entry in unrolled.entries:
+        op = graph.op(entry.node)
+        unit = model.unit_for_op(op)
+        for off in model.busy_offsets(op):
+            slot = usage[entry.global_cs + off - lo]
+            slot[unit.name] = slot.get(unit.name, 0) + 1
+    return ReservationProfile(usage=tuple(usage), latency=hi - lo)
+
+
+class NestedModel:
+    """An outer-loop resource view: ordinary ops plus compound profiles."""
+
+    def __init__(self, model: ResourceModel, compounds: Mapping[NodeId, ReservationProfile]):
+        self.model = model
+        self.compounds = dict(compounds)
+
+    def profile(self, graph: DFG, node: NodeId) -> ReservationProfile:
+        if node in self.compounds:
+            return self.compounds[node]
+        return ReservationProfile.for_op(self.model, graph.op(node))
+
+    def latency(self, graph: DFG, node: NodeId) -> int:
+        return self.profile(graph, node).latency
+
+
+@dataclass
+class NestedSchedule:
+    """Outer-loop schedule with compound nodes, in plain start times."""
+
+    graph: DFG
+    nested: NestedModel
+    start: Dict[NodeId, int]
+
+    @property
+    def length(self) -> int:
+        lo = min(self.start.values())
+        hi = max(
+            self.start[v] + self.nested.latency(self.graph, v) for v in self.graph.nodes
+        )
+        return hi - lo
+
+    def finish(self, node: NodeId) -> int:
+        return self.start[node] + self.nested.latency(self.graph, node)
+
+    def usage_table(self) -> Dict[Tuple[str, int], int]:
+        table: Dict[Tuple[str, int], int] = {}
+        for v in self.graph.nodes:
+            profile = self.nested.profile(self.graph, v)
+            for off, slot in enumerate(profile.usage):
+                for unit, count in slot.items():
+                    key = (unit, self.start[v] + off)
+                    table[key] = table.get(key, 0) + count
+        return table
+
+    def violations(self, r: Optional[Retiming] = None) -> List[str]:
+        out = []
+        for e in self.graph.edges:
+            dr = e.delay if r is None else r.dr(e)
+            if dr == 0 and self.finish(e.src) > self.start[e.dst]:
+                out.append(f"{e.src}->{e.dst}: starts before producer finishes")
+        for (unit, cs), used in sorted(self.usage_table().items(), key=lambda kv: kv[0][1]):
+            available = self.nested.model.unit(unit).count
+            if used > available:
+                out.append(f"CS {cs}: {used}/{available} {unit} busy")
+        return out
+
+
+def _profile_fits(
+    table: Dict[Tuple[str, int], int],
+    model: ResourceModel,
+    profile: ReservationProfile,
+    cs: int,
+) -> bool:
+    for off, slot in enumerate(profile.usage):
+        for unit, count in slot.items():
+            if table.get((unit, cs + off), 0) + count > model.unit(unit).count:
+                return False
+    return True
+
+
+def _occupy(table: Dict[Tuple[str, int], int], profile: ReservationProfile, cs: int) -> None:
+    for off, slot in enumerate(profile.usage):
+        for unit, count in slot.items():
+            key = (unit, cs + off)
+            table[key] = table.get(key, 0) + count
+
+
+def nested_full_schedule(
+    graph: DFG,
+    nested: NestedModel,
+    r: Optional[Retiming] = None,
+    priority="descendants",
+    fixed: Optional[Mapping[NodeId, int]] = None,
+    floor_cs: int = 0,
+) -> NestedSchedule:
+    """Profile-aware list scheduling of an outer loop.
+
+    Ordinary outer operations may land inside a compound node's span
+    whenever the inner pipeline leaves their unit class idle — the
+    paper's inner/outer blending.  With ``fixed`` placements given, only
+    the remaining nodes are scheduled (the partial form rotation needs).
+    """
+    model = nested.model
+    prio = get_priority(priority)(graph, model.timing(), r)
+    node_index = {v: i for i, v in enumerate(graph.nodes)}
+    table: Dict[Tuple[str, int], int] = {}
+    start: Dict[NodeId, int] = {}
+    for v, cs in (fixed or {}).items():
+        _occupy(table, nested.profile(graph, v), cs)
+        start[v] = cs
+
+    todo = [v for v in graph.nodes if v not in start]
+    pending = {
+        v: sum(1 for u in zero_delay_predecessors(graph, v, r) if u not in start)
+        for v in todo
+    }
+    ready = {v for v in todo if pending[v] == 0}
+    unplaced = set(todo)
+    cs = floor_cs
+    guard_limit = (
+        floor_cs
+        + sum(nested.latency(graph, v) for v in graph.nodes)
+        + 8 * (graph.num_nodes + 2)
+    )
+    while unplaced:
+        candidates = sorted(
+            (
+                v
+                for v in ready
+                if max(
+                    [
+                        start[u] + nested.latency(graph, u)
+                        for u in zero_delay_predecessors(graph, v, r)
+                    ],
+                    default=floor_cs,
+                )
+                <= cs
+            ),
+            key=lambda v: (tuple(-x for x in prio[v]), node_index[v]),
+        )
+        for v in candidates:
+            profile = nested.profile(graph, v)
+            if not _profile_fits(table, model, profile, cs):
+                continue
+            _occupy(table, profile, cs)
+            start[v] = cs
+            ready.discard(v)
+            unplaced.discard(v)
+            for w in zero_delay_successors(graph, v, r):
+                if w in unplaced:
+                    pending[w] -= 1
+                    if pending[w] == 0:
+                        ready.add(w)
+        cs += 1
+        if cs > guard_limit:  # pragma: no cover - defensive
+            raise SchedulingError("nested scheduler failed to converge")
+    return NestedSchedule(graph, nested, start)
+
+
+@dataclass
+class NestedRotationState:
+    """Rotation on an outer loop containing compound nodes."""
+
+    graph: DFG
+    nested: NestedModel
+    retiming: Retiming
+    schedule: NestedSchedule
+    priority: object = "descendants"
+
+    @classmethod
+    def initial(cls, graph: DFG, nested: NestedModel, priority="descendants"):
+        sched = nested_full_schedule(graph, nested, priority=priority)
+        return cls(graph, nested, Retiming.zero(), sched, priority)
+
+    @property
+    def length(self) -> int:
+        return self.schedule.length
+
+    def down_rotate(self, size: int) -> "NestedRotationState":
+        if size < 1 or size >= self.length:
+            raise RotationError(f"illegal rotation size {size} for length {self.length}")
+        lo = min(self.schedule.start.values())
+        moved = [v for v in self.graph.nodes if self.schedule.start[v] - lo < size]
+        new_r = self.retiming + Retiming.of_set(moved)
+        fixed = {
+            v: self.schedule.start[v] - lo - size
+            for v in self.graph.nodes
+            if v not in moved
+        }
+        new_sched = nested_full_schedule(
+            self.graph, self.nested, new_r, self.priority, fixed=fixed, floor_cs=0
+        )
+        return NestedRotationState(self.graph, self.nested, new_r, new_sched, self.priority)
+
+
+def pipeline_nested_loop(
+    inner_graph: DFG,
+    outer_graph: DFG,
+    compound_node: NodeId,
+    model: ResourceModel,
+    inner_iterations: int,
+    outer_rotations: int = 8,
+) -> Tuple[RotationResult, NestedRotationState]:
+    """End-to-end inside-out nested pipelining.
+
+    Args:
+        inner_graph: the innermost loop's DFG (rotation-scheduled first).
+        outer_graph: the outer loop's DFG; ``compound_node`` stands for
+            the entire inner loop.
+        compound_node: the outer node representing the inner loop.
+        model: shared functional units.
+        inner_iterations: inner trip count (fixed, as in the paper's
+            compound-node treatment).
+        outer_rotations: size-1 rotations to apply to the outer loop.
+
+    Returns:
+        ``(inner result, best outer rotation state)``.
+    """
+    inner = rotation_schedule(inner_graph, model)
+    profile = inner_loop_profile(inner, inner_iterations)
+    nested = NestedModel(model, {compound_node: profile})
+    state = NestedRotationState.initial(outer_graph, nested)
+    best = state
+    for _ in range(outer_rotations):
+        if state.length <= 1:
+            break
+        state = state.down_rotate(1)
+        if state.length < best.length:
+            best = state
+    return inner, best

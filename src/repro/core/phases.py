@@ -1,0 +1,157 @@
+"""Rotation phases and the paper's two heuristics (Section 5).
+
+A *rotation phase* of size ``i`` performs ``beta`` down-rotations of size
+``i``, halving the size whenever it reaches the current schedule length
+(rotations of size >= length are illegal).  The two heuristics drive
+phases differently:
+
+* **Heuristic 1** runs phases of sizes ``1..sigma`` *independently*, each
+  restarting from the initial list schedule of the original DFG — more
+  predictable, embarrassingly parallel, good for studying the effect of
+  rotation size.
+* **Heuristic 2** runs phases in *decreasing* size order, each phase
+  continuing from the previous phase's rotation function and re-seeding
+  its schedule with ``FullSchedule(G_R)`` — the retimed graph "exposes
+  more faces" of the DFG.  This is the heuristic behind the paper's
+  reported results (it wins on the elliptic filter's 2A 1Mp case).
+
+Schedule quality is the *wrapped* length (Section 4): for single-cycle
+graphs it coincides with the span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.dfg.graph import DFG
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.core.rotation import RotationState
+from repro.core.wrapping import WrappedSchedule, wrap
+
+
+@dataclass
+class BestTracker:
+    """Keeps the shortest wrapped length seen and the states achieving it.
+
+    The paper's ``(Lopt, Q)`` pair: ``Q`` collects distinct optimal
+    schedules ("the number of optimal schedules found ranges from 15 to
+    35"); ``cap`` bounds memory.
+    """
+
+    cap: int = 64
+    length: Optional[int] = None
+    entries: List[Tuple[RotationState, WrappedSchedule]] = field(default_factory=list)
+    _seen: Set[Tuple] = field(default_factory=set)
+    offers: int = 0
+
+    def offer(self, state: RotationState) -> WrappedSchedule:
+        """Score a state (wrapped length) and record it if it ties or wins."""
+        self.offers += 1
+        wrapped = wrap(state.schedule, state.retiming)
+        if self.length is None or wrapped.period < self.length:
+            self.length = wrapped.period
+            self.entries = [(state, wrapped)]
+            self._seen = {self._key(state)}
+        elif wrapped.period == self.length and len(self.entries) < self.cap:
+            key = self._key(state)
+            if key not in self._seen:
+                self._seen.add(key)
+                self.entries.append((state, wrapped))
+        return wrapped
+
+    @staticmethod
+    def _key(state: RotationState) -> Tuple:
+        sched = state.schedule.normalized()
+        return (
+            frozenset(sched.start_map.items()),
+            frozenset(state.retiming.items_nonzero()),
+        )
+
+    @property
+    def best_state(self) -> RotationState:
+        return self.entries[0][0]
+
+    @property
+    def best_wrapped(self) -> WrappedSchedule:
+        return self.entries[0][1]
+
+
+def rotation_phase(
+    state: RotationState,
+    size: int,
+    beta: int,
+    best: BestTracker,
+) -> RotationState:
+    """The paper's ``RotationPhase``: ``beta`` rotations of (nominal) size
+    ``size``, halving the size while it reaches the schedule length."""
+    current = size
+    for _ in range(beta):
+        length = state.length
+        while current >= length and current > 1:
+            current = (current + 1) // 2  # ceil(i/2)
+        if current >= length:
+            break  # schedule of length 1 cannot be rotated further
+        state = state.down_rotate(current)
+        best.offer(state)
+    return state
+
+
+def heuristic_1(
+    graph: DFG,
+    model: ResourceModel,
+    beta: Optional[int] = None,
+    sigma: Optional[int] = None,
+    priority="descendants",
+    cap: int = 64,
+) -> BestTracker:
+    """Independent phases of sizes ``1..sigma``, each from the initial
+    schedule of the original DFG (rotation function reset to zero).
+
+    Args:
+        graph: cyclic DFG to schedule.
+        model: resource model.
+        beta: rotations per phase (default ``2 * |V|``).
+        sigma: largest phase size (default: initial schedule length - 1).
+        priority: list-scheduling priority.
+        cap: max number of tied-optimal schedules retained.
+    """
+    initial = RotationState.initial(graph, model, priority)
+    best = BestTracker(cap=cap)
+    best.offer(initial)
+    if beta is None:
+        beta = max(8, 2 * graph.num_nodes)
+    if sigma is None:
+        sigma = max(1, initial.length - 1)
+    for size in range(1, sigma + 1):
+        rotation_phase(initial, size, beta, best)
+    return best
+
+
+def heuristic_2(
+    graph: DFG,
+    model: ResourceModel,
+    beta: Optional[int] = None,
+    sigma: Optional[int] = None,
+    priority="descendants",
+    cap: int = 64,
+) -> BestTracker:
+    """Cascaded phases in decreasing size order with ``FullSchedule(G_R)``
+    re-seeding between phases (the paper's reported heuristic)."""
+    state = RotationState.initial(graph, model, priority)
+    best = BestTracker(cap=cap)
+    best.offer(state)
+    if beta is None:
+        beta = max(8, 2 * graph.num_nodes)
+    if sigma is None:
+        sigma = max(1, state.length - 1)
+    for size in range(sigma, 0, -1):
+        state = rotation_phase(state, size, beta, best)
+        # Re-seed the next phase from a fresh list schedule of G_R.
+        state = RotationState.initial(graph, model, priority, retiming=state.retiming)
+        best.offer(state)
+    return best
+
+
+HEURISTICS = {"h1": heuristic_1, "h2": heuristic_2}

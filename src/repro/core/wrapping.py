@@ -1,0 +1,168 @@
+"""Schedule wrapping for multi-cycle operations and pipelined units (Sec. 4).
+
+With multi-cycle operations, rotations can leave execution *tails* hanging
+past the last "useful" control step (paper Figure 6: node 0's tail 0').
+Wrapping moves such tails around the cylinder to the schedule's first
+control steps, provided (1) spare resources exist there and (2) the new
+zero-delay precedence constraints hold — which is exactly legality of the
+schedule as a *modulo schedule* with the shorter period.
+
+A wrapped schedule of period ``P`` keeps every *start* inside the window
+``[0, P)`` while occupancy and results may spill into the next repetition.
+``wrap`` finds the minimum legal period; ``reroot`` re-indexes the cylinder
+so any control step becomes the first one (paper: "we can consider any
+control step i as the first control step of the cylinder"), turning a
+wrapped schedule back into an unwrapped one when possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.schedule.verify import (
+    modulo_precedence_violations,
+    modulo_resource_conflicts,
+    realizing_retiming,
+)
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class WrappedSchedule:
+    """A static schedule with an explicit initiation interval (period).
+
+    ``schedule`` is normalized (first CS 0) and every start lies in
+    ``[0, period)``; tails may wrap.  ``retiming`` realizes it as a modulo
+    schedule.
+    """
+
+    schedule: Schedule
+    retiming: Retiming
+    period: int
+
+    @property
+    def length(self) -> int:
+        """The paper's schedule length for multi-cycle DFGs: the period."""
+        return self.period
+
+    @property
+    def depth(self) -> int:
+        return self.retiming.depth(self.schedule.graph)
+
+    def wrapped_nodes(self) -> List[NodeId]:
+        """Nodes whose execution spills past the period boundary."""
+        sched = self.schedule
+        return [
+            v
+            for v in sched.graph.nodes
+            if sched.start(v) + _busy_span(sched, v) > self.period
+        ]
+
+    def violations(self) -> List[str]:
+        """Re-check modulo legality (empty for objects built by wrap())."""
+        sched = self.schedule
+        return modulo_resource_conflicts(
+            sched.graph, sched.model, sched.start_map, self.period
+        ) + modulo_precedence_violations(
+            sched.graph, sched.model, sched.start_map, self.period, self.retiming
+        )
+
+
+def _busy_span(schedule: Schedule, node: NodeId) -> int:
+    """Unit-occupancy span of a node (1 for pipelined ops)."""
+    offsets = schedule.model.busy_offsets(schedule.graph.op(node))
+    return (max(offsets) + 1) if len(offsets) else 1
+
+
+def wrapped_length(schedule: Schedule, retiming: Retiming) -> int:
+    """Minimum legal period of the schedule seen as a cylinder.
+
+    This is the paper's "length of the wrapped schedule", the quality
+    measure the heuristics optimize for multi-cycle DFGs.  The span of the
+    schedule is always legal, so the result is at most ``schedule.length``.
+    """
+    return wrap(schedule, retiming).period
+
+
+def wrap(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:
+    """Wrap trailing tails around the cylinder to minimize the period.
+
+    Searches periods from the smallest window containing every *start*
+    (plus the largest non-pipelined occupancy requirement) up to the plain
+    span; the first legal one wins.  The span itself is always legal, so
+    this never fails on a legal DAG schedule of ``G_R``.
+    """
+    sched = schedule.normalized()
+    graph, model = sched.graph, sched.model
+    span = sched.length
+    starts_span = max(sched.start(v) for v in graph.nodes) + 1
+    min_occ = max(
+        (model.unit_for_op(graph.op(v)).latency
+         for v in graph.nodes
+         if not model.unit_for_op(graph.op(v)).pipelined),
+        default=1,
+    )
+    lo = max(starts_span, min_occ, 1)
+    start_map = sched.start_map
+    for period in range(lo, span + 1):
+        if modulo_resource_conflicts(graph, model, start_map, period):
+            continue
+        if modulo_precedence_violations(graph, model, start_map, period, retiming):
+            continue
+        return WrappedSchedule(sched, retiming, period)
+    raise SchedulingError(
+        f"schedule of span {span} is not modulo-legal at its own span — "
+        "the input was not a legal DAG schedule of G_R"
+    )  # pragma: no cover - impossible for legal inputs
+
+
+def reroot(wrapped: WrappedSchedule, pivot: int) -> WrappedSchedule:
+    """View control step ``pivot`` as the cylinder's first control step.
+
+    Nodes starting before ``pivot`` move to the end of the window (their
+    rotation count increases by one — a down-rotation *without*
+    rescheduling); the period is unchanged.  Paper Section 4 uses this to
+    turn the wrapped Figure 8-(b) schedule into an unwrapped one.
+    """
+    sched = wrapped.schedule
+    graph = sched.graph
+    if not 0 <= pivot < wrapped.period:
+        raise SchedulingError(f"pivot {pivot} outside period window [0, {wrapped.period})")
+    if pivot == 0:
+        return wrapped
+    new_start: Dict[NodeId, int] = {}
+    bumped: List[NodeId] = []
+    for v in graph.nodes:
+        s = sched.start(v)
+        if s < pivot:
+            new_start[v] = s - pivot + wrapped.period
+            bumped.append(v)
+        else:
+            new_start[v] = s - pivot
+    new_r = wrapped.retiming + Retiming.of_set(bumped)
+    new_sched = Schedule(graph, sched.model, new_start, sched.unit_map)
+    out = WrappedSchedule(new_sched, new_r.normalized(graph), wrapped.period)
+    bad = out.violations()
+    if bad:  # pragma: no cover - rerooting preserves modulo legality
+        raise SchedulingError("reroot produced an illegal schedule: " + "; ".join(bad[:3]))
+    return out
+
+
+def unwrap_if_possible(wrapped: WrappedSchedule) -> WrappedSchedule:
+    """Try every pivot; return a rerooting whose tails no longer wrap.
+
+    Falls back to the input when no pivot removes all wrapping (then the
+    schedule is intrinsically wrapped).
+    """
+    if not wrapped.wrapped_nodes():
+        return wrapped
+    for pivot in range(1, wrapped.period):
+        candidate = reroot(wrapped, pivot)
+        if not candidate.wrapped_nodes():
+            return candidate
+    return wrapped

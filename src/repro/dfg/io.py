@@ -1,0 +1,149 @@
+"""Serialization of data-flow graphs: JSON, edge-list text, and DOT.
+
+The JSON format is the canonical round-trippable form.  The edge-list text
+format mirrors how HLS benchmark netlists circulate (one edge per line),
+and DOT is for eyeballing graphs with graphviz.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.dfg.graph import DFG, NodeId
+from repro.errors import GraphError
+
+_FORMAT_VERSION = 1
+
+
+def to_json_dict(graph: DFG) -> Dict[str, Any]:
+    """A JSON-serializable dict capturing structure, ops, times and labels.
+
+    Node callables (``func``) are intentionally not serialized.
+    """
+    return {
+        "format": "repro.dfg",
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "id": _encode_id(v),
+                "op": graph.op(v),
+                "time": graph.explicit_time(v),
+                "label": graph.label(v) if graph.label(v) != str(v) else None,
+            }
+            for v in graph.nodes
+        ],
+        "edges": [
+            {"src": _encode_id(e.src), "dst": _encode_id(e.dst), "delay": e.delay}
+            for e in graph.edges
+        ],
+    }
+
+
+def from_json_dict(data: Dict[str, Any]) -> DFG:
+    """Inverse of :func:`to_json_dict`."""
+    if data.get("format") != "repro.dfg":
+        raise GraphError("not a repro.dfg JSON document")
+    graph = DFG(data.get("name", ""))
+    for nd in data["nodes"]:
+        graph.add_node(
+            _decode_id(nd["id"]),
+            nd.get("op", "op"),
+            time=nd.get("time"),
+            label=nd.get("label"),
+        )
+    for ed in data["edges"]:
+        graph.add_edge(_decode_id(ed["src"]), _decode_id(ed["dst"]), int(ed.get("delay", 0)))
+    return graph
+
+
+def dumps(graph: DFG, indent: Optional[int] = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(to_json_dict(graph), indent=indent)
+
+
+def loads(text: str) -> DFG:
+    """Parse a JSON string produced by :func:`dumps`."""
+    return from_json_dict(json.loads(text))
+
+
+def save(graph: DFG, path: str) -> None:
+    """Write the JSON form to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(graph))
+
+
+def load(path: str) -> DFG:
+    """Read a graph from a JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())
+
+
+def _encode_id(node: NodeId) -> Any:
+    if isinstance(node, (str, int)):
+        return node
+    return str(node)
+
+
+def _decode_id(raw: Any) -> NodeId:
+    return raw
+
+
+# ----------------------------------------------------------------------
+# edge-list text format:
+#   # comment
+#   node <id> <op> [time]
+#   edge <src> <dst> <delay>
+# ----------------------------------------------------------------------
+def to_edge_list(graph: DFG) -> str:
+    """Render the line-oriented edge-list form."""
+    lines: List[str] = [f"# dfg {graph.name}"]
+    for v in graph.nodes:
+        t = graph.explicit_time(v)
+        suffix = f" {t}" if t is not None else ""
+        lines.append(f"node {v} {graph.op(v)}{suffix}")
+    for e in graph.edges:
+        lines.append(f"edge {e.src} {e.dst} {e.delay}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str, name: str = "") -> DFG:
+    """Parse the line-oriented edge-list form (ids become strings)."""
+    graph = DFG(name)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        kind = parts[0]
+        if kind == "node":
+            if len(parts) not in (3, 4):
+                raise GraphError(f"line {lineno}: malformed node line {line!r}")
+            time = int(parts[3]) if len(parts) == 4 else None
+            graph.add_node(parts[1], parts[2], time=time)
+        elif kind == "edge":
+            if len(parts) != 4:
+                raise GraphError(f"line {lineno}: malformed edge line {line!r}")
+            graph.add_edge(parts[1], parts[2], int(parts[3]))
+        else:
+            raise GraphError(f"line {lineno}: unknown directive {kind!r}")
+    return graph
+
+
+def to_dot(graph: DFG) -> str:
+    """Graphviz DOT rendering; delayed edges are dashed and annotated."""
+    lines = [f'digraph "{graph.name or "dfg"}" {{', "  rankdir=TB;"]
+    shape = {"mul": "box"}
+    for v in graph.nodes:
+        lines.append(
+            f'  "{v}" [label="{graph.label(v)}\\n{graph.op(v)}", '
+            f'shape={shape.get(graph.op(v), "ellipse")}];'
+        )
+    for e in graph.edges:
+        if e.delay:
+            lines.append(f'  "{e.src}" -> "{e.dst}" [style=dashed, label="{e.delay}D"];')
+        else:
+            lines.append(f'  "{e.src}" -> "{e.dst}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

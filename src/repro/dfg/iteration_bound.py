@@ -1,0 +1,198 @@
+"""Iteration bound of a cyclic DFG (Renfors & Neuvo bound).
+
+The iteration bound is the theoretical minimum static-schedule length over
+all retimings and unlimited resources::
+
+    IB(G) = max over cycles C of  ceil( t(C) / d(C) )
+
+where ``t(C)`` sums the computation times of the nodes on the cycle and
+``d(C)`` sums the delays on its edges.  The paper quotes the *ceiling* in
+Table 1; :func:`iteration_bound` returns the exact rational
+``max t(C)/d(C)`` and :func:`iteration_bound_ceil` the table value.
+
+Two algorithms are provided and cross-checked in the tests:
+
+* :func:`iteration_bound_enumerate` — enumerate simple cycles (fine for the
+  paper's benchmark graphs, exponential in general);
+* :func:`iteration_bound_parametric` — parametric shortest paths: a cycle of
+  ratio greater than ``lambda`` exists iff the edge weights
+  ``lambda * d(e) - t(src)`` admit a negative cycle.  Binary search over
+  ``lambda`` plus a rational snap gives the exact bound in
+  ``O(V * E * log)`` time.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId, Timing
+from repro.dfg.analysis import topological_order  # validates zero-delay acyclicity
+from repro.errors import GraphError, ZeroDelayCycleError
+
+
+def _has_cycle_with_ratio(graph: DFG, timing: Optional[Timing], lam: Fraction, strict: bool) -> bool:
+    """Does a cycle with ratio ``> lam`` (strict) / ``>= lam`` exist?
+
+    Uses Bellman–Ford negative-cycle detection on integer edge weights
+    ``a(e) = p * d(e) - q * t(src)`` where ``lam = p / q``:
+    a cycle has weight sum ``< 0`` iff its time/delay ratio exceeds ``lam``.
+    For the non-strict test, weights are scaled so that integer cycle sums
+    ``<= 0`` become strictly negative.
+    """
+    p, q = lam.numerator, lam.denominator
+    scale = graph.num_edges + 1 if not strict else 1
+    weight: Dict[int, int] = {}
+    for e in graph.edges:
+        a = p * e.delay - q * graph.time(e.src, timing)
+        weight[e.eid] = a * scale - (0 if strict else 1)
+
+    # Bellman-Ford from a virtual source connected to every node (dist 0).
+    dist: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
+    for _ in range(graph.num_nodes):
+        changed = False
+        for e in graph.edges:
+            nd = dist[e.src] + weight[e.eid]
+            if nd < dist[e.dst]:
+                dist[e.dst] = nd
+                changed = True
+        if not changed:
+            return False
+    # one more pass: any further relaxation proves a negative cycle
+    for e in graph.edges:
+        if dist[e.src] + weight[e.eid] < dist[e.dst]:
+            return True
+    return False
+
+
+def _cycle_digraph(graph: DFG, timing: Optional[Timing]):
+    """Simple digraph with min-delay parallel-edge collapse, for enumeration.
+
+    When maximizing ``t(C)/d(C)``, a cycle always prefers the minimum-delay
+    edge between any ordered node pair (node times are fixed), so parallel
+    edges collapse without losing the maximum.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes)
+    for e in graph.edges:
+        if g.has_edge(e.src, e.dst):
+            g[e.src][e.dst]["delay"] = min(g[e.src][e.dst]["delay"], e.delay)
+        else:
+            g.add_edge(e.src, e.dst, delay=e.delay)
+    return g
+
+
+def cycle_ratios(graph: DFG, timing: Optional[Timing] = None, limit: int = 100_000) -> List[Tuple[Fraction, List[NodeId]]]:
+    """All simple-cycle ratios ``t(C)/d(C)`` with their node sequences.
+
+    Raises :class:`GraphError` if more than ``limit`` cycles are found
+    (switch to the parametric algorithm instead).
+    """
+    import networkx as nx
+
+    topological_order(graph)  # raises ZeroDelayCycleError on illegal graphs
+    g = _cycle_digraph(graph, timing)
+    out: List[Tuple[Fraction, List[NodeId]]] = []
+    for cycle in nx.simple_cycles(g):
+        t = sum(graph.time(v, timing) for v in cycle)
+        d = sum(
+            g[cycle[i]][cycle[(i + 1) % len(cycle)]]["delay"] for i in range(len(cycle))
+        )
+        if d == 0:  # pragma: no cover - excluded by the zero-delay check
+            raise ZeroDelayCycleError(cycle)
+        out.append((Fraction(t, d), list(cycle)))
+        if len(out) > limit:
+            raise GraphError(f"more than {limit} simple cycles; use the parametric bound")
+    return out
+
+
+def iteration_bound_enumerate(graph: DFG, timing: Optional[Timing] = None) -> Fraction:
+    """Exact iteration bound by simple-cycle enumeration."""
+    ratios = cycle_ratios(graph, timing)
+    if not ratios:
+        return Fraction(0)
+    return max(r for r, _ in ratios)
+
+
+def critical_cycle(graph: DFG, timing: Optional[Timing] = None) -> Tuple[Fraction, List[NodeId]]:
+    """The maximum-ratio cycle (bound, node sequence); ``(0, [])`` if acyclic."""
+    ratios = cycle_ratios(graph, timing)
+    if not ratios:
+        return Fraction(0), []
+    return max(ratios, key=lambda rc: rc[0])
+
+
+def iteration_bound_parametric(graph: DFG, timing: Optional[Timing] = None) -> Fraction:
+    """Exact iteration bound by parametric negative-cycle binary search."""
+    topological_order(graph)  # zero-delay legality check
+    total_delay = graph.total_delay()
+    if total_delay == 0:
+        return Fraction(0)
+    if not _has_cycle_with_ratio(graph, timing, Fraction(0), strict=True):
+        # no cycle with positive ratio => acyclic graph (times are positive)
+        return Fraction(0)
+
+    hi = sum(graph.time(v, timing) for v in graph.nodes)  # ratio <= total time
+    lo_f, hi_f = 0.0, float(hi)
+    for _ in range(80):
+        mid = (lo_f + hi_f) / 2.0
+        if _has_cycle_with_ratio(graph, timing, Fraction(mid).limit_denominator(10**9), strict=True):
+            lo_f = mid
+        else:
+            hi_f = mid
+    # Snap to an exact rational: lambda* = t(C)/d(C) has denominator <= total_delay.
+    estimate = (lo_f + hi_f) / 2.0
+    for dmax in (total_delay, 10 * total_delay, 10**6):
+        candidate = Fraction(estimate).limit_denominator(dmax)
+        if _is_exact_bound(graph, timing, candidate):
+            return candidate
+        # try the neighbours reachable within the residual interval
+        for f in (lo_f, hi_f):
+            candidate = Fraction(f).limit_denominator(dmax)
+            if _is_exact_bound(graph, timing, candidate):
+                return candidate
+    raise GraphError("parametric iteration bound failed to converge")  # pragma: no cover
+
+
+def _is_exact_bound(graph: DFG, timing: Optional[Timing], lam: Fraction) -> bool:
+    """``lam`` is the exact bound iff some cycle attains it and none exceeds it."""
+    if lam <= 0:
+        return False
+    return _has_cycle_with_ratio(graph, timing, lam, strict=False) and not _has_cycle_with_ratio(
+        graph, timing, lam, strict=True
+    )
+
+
+def iteration_bound(
+    graph: DFG,
+    timing: Optional[Timing] = None,
+    method: str = "auto",
+) -> Fraction:
+    """Exact iteration bound ``max over cycles of t(C)/d(C)``.
+
+    Args:
+        graph: the DFG (must have no zero-delay cycle).
+        timing: op-type timing model; defaults to per-node times.
+        method: ``"auto"`` (enumerate small graphs, else parametric),
+            ``"enumerate"`` or ``"parametric"``.
+    """
+    if method == "enumerate":
+        return iteration_bound_enumerate(graph, timing)
+    if method == "parametric":
+        return iteration_bound_parametric(graph, timing)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    if graph.num_nodes <= 60:
+        try:
+            return iteration_bound_enumerate(graph, timing)
+        except GraphError:
+            pass
+    return iteration_bound_parametric(graph, timing)
+
+
+def iteration_bound_ceil(graph: DFG, timing: Optional[Timing] = None, method: str = "auto") -> int:
+    """The integer bound quoted in the paper's Table 1: ``ceil(IB)``."""
+    bound = iteration_bound(graph, timing, method)
+    return -(-bound.numerator // bound.denominator)

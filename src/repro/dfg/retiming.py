@@ -1,0 +1,178 @@
+"""Retiming functions over data-flow graphs.
+
+A retiming ``r`` maps nodes to integers.  Following the paper's sign
+convention (Section 2, footnote 1 — *not* the Leiserson–Saxe convention),
+``r(v)`` is the number of delays pushed *through* ``v`` from its incoming
+edges to its outgoing edges, so the retimed delay count of edge
+``e = (u, v)`` is::
+
+    dr(e) = d(e) + r(u) - r(v)
+
+``r`` is *legal* for ``G`` when ``dr(e) >= 0`` on every edge.  A rotation of
+a schedule prefix is exactly the composition of the current retiming with
+the 0/1 indicator retiming of the rotated node set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.dfg.graph import DFG, Edge, NodeId
+from repro.errors import RetimingError
+
+
+class Retiming(Mapping[NodeId, int]):
+    """An integer node-labelling with default value 0.
+
+    Immutable by convention: all operations return new instances.  The
+    mapping interface only exposes explicitly set nodes; ``r[v]`` for an
+    unset node returns 0 (every retiming is total over any graph).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: Optional[Mapping[NodeId, int]] = None):
+        self._values: Dict[NodeId, int] = {
+            v: int(k) for v, k in (values or {}).items() if int(k) != 0
+        }
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Retiming":
+        """The identity retiming (all zeros)."""
+        return cls()
+
+    @classmethod
+    def of_set(cls, nodes: Iterable[NodeId]) -> "Retiming":
+        """The 0/1 indicator retiming of a node set (a down-rotation step)."""
+        return cls({v: 1 for v in nodes})
+
+    # -- mapping protocol -------------------------------------------------
+    def __getitem__(self, node: NodeId) -> int:
+        return self._values.get(node, 0)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Retiming):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    # -- algebra ----------------------------------------------------------
+    def compose(self, other: "Retiming") -> "Retiming":
+        """Pointwise sum ``r1 (+) r2`` — the paper's composite of rotations."""
+        values = dict(self._values)
+        for v, k in other._values.items():
+            values[v] = values.get(v, 0) + k
+        return Retiming(values)
+
+    def __add__(self, other: "Retiming") -> "Retiming":
+        return self.compose(other)
+
+    def negated(self) -> "Retiming":
+        """Pointwise negation (turns a down-rotation into an up-rotation)."""
+        return Retiming({v: -k for v, k in self._values.items()})
+
+    def shifted(self, offset: int) -> "Retiming":
+        """Add a constant to every *explicitly set* node — rarely what you
+        want on its own; used by :meth:`normalized`."""
+        return Retiming({v: k + offset for v, k in self._values.items()})
+
+    def normalized(self, graph: DFG) -> "Retiming":
+        """Shift so that ``min over graph nodes == 0`` (paper Section 2).
+
+        Normalization subtracts the graph-wide minimum from every node of
+        the graph, so unset nodes (implicit 0) are shifted too.
+        """
+        lo = min((self[v] for v in graph.nodes), default=0)
+        if lo == 0:
+            return self
+        return Retiming({v: self[v] - lo for v in graph.nodes})
+
+    def restricted(self, nodes: Iterable[NodeId]) -> "Retiming":
+        """Keep only the given nodes (others reset to 0)."""
+        keep = set(nodes)
+        return Retiming({v: k for v, k in self._values.items() if v in keep})
+
+    # -- graph interaction --------------------------------------------------
+    def dr(self, edge: Edge) -> int:
+        """Retimed delay count ``d(e) + r(src) - r(dst)``."""
+        return edge.delay + self[edge.src] - self[edge.dst]
+
+    def is_legal(self, graph: DFG) -> bool:
+        """True when ``dr(e) >= 0`` on every edge of ``graph``."""
+        return all(self.dr(e) >= 0 for e in graph.edges)
+
+    def illegal_edges(self, graph: DFG) -> List[Edge]:
+        """Edges whose retimed delay would be negative."""
+        return [e for e in graph.edges if self.dr(e) < 0]
+
+    def check_legal(self, graph: DFG) -> None:
+        """Raise :class:`RetimingError` unless legal for ``graph``."""
+        bad = self.illegal_edges(graph)
+        if bad:
+            worst = ", ".join(f"{e} (dr={self.dr(e)})" for e in bad[:5])
+            raise RetimingError(
+                f"illegal retiming on {graph.name or 'graph'}: {len(bad)} "
+                f"negative-delay edge(s): {worst}"
+            )
+
+    def depth(self, graph: DFG) -> int:
+        """Pipeline depth ``1 + max r - min r`` over the graph (Property 2)."""
+        if graph.num_nodes == 0:
+            return 1
+        values = [self[v] for v in graph.nodes]
+        return 1 + max(values) - min(values)
+
+    def stages(self, graph: DFG) -> Dict[int, List[NodeId]]:
+        """Group the graph's nodes by retiming value (pipeline stage).
+
+        Stage ``max r`` executes the earliest iterations (first pipeline
+        stage in the paper's Figure 3-(b) reading).
+        """
+        groups: Dict[int, List[NodeId]] = {}
+        for v in graph.nodes:
+            groups.setdefault(self[v], []).append(v)
+        return dict(sorted(groups.items(), reverse=True))
+
+    def retime(self, graph: DFG, name: Optional[str] = None) -> DFG:
+        """Materialize the retimed graph ``Gr`` with ``dr`` delay counts.
+
+        The paper's algorithms never need this (that is their selling
+        point); it exists for visualisation, the simulator and for tests
+        that cross-check the on-the-fly ``dr`` arithmetic.
+        """
+        self.check_legal(graph)
+        g = DFG(name if name is not None else f"{graph.name}@r")
+        for node in graph.nodes:
+            g.add_node(
+                node,
+                graph.op(node),
+                time=graph.explicit_time(node),
+                label=graph.label(node),
+                func=graph.func(node),
+                **graph.attrs(node),
+            )
+        for e in graph.edges:
+            g.add_edge(e.src, e.dst, self.dr(e))
+        return g
+
+    def as_dict(self, graph: Optional[DFG] = None) -> Dict[NodeId, int]:
+        """Plain-dict view; with a graph, includes all of its nodes."""
+        if graph is None:
+            return dict(self._values)
+        return {v: self[v] for v in graph.nodes}
+
+    def items_nonzero(self) -> List[Tuple[NodeId, int]]:
+        return sorted(self._values.items(), key=lambda kv: str(kv[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{v}:{k}" for v, k in self.items_nonzero())
+        return f"Retiming({{{inner}}})"

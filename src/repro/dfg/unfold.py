@@ -1,0 +1,91 @@
+"""Loop unfolding (unrolling at the data-flow-graph level).
+
+The paper's front end generates DFGs "via retiming and unfolding"
+(Section 7, refs [1-3]): unfolding by a factor ``J`` replaces each node
+``v`` by copies ``v@0 .. v@J-1`` — copy ``v@j`` computes original
+iteration ``J*k + j`` during unfolded iteration ``k`` — and each edge
+``u -> v`` with ``w`` delays by the ``J`` edges::
+
+    u@j  ->  v@((j + w) mod J)     with   floor((j + w) / J)  delays.
+
+Standard properties (tested in ``tests/dfg/test_unfold.py`` and the
+property suite):
+
+* total delay is preserved;
+* the iteration bound of the unfolded graph is exactly ``J`` times the
+  original (one unfolded iteration does ``J`` iterations of work), so the
+  *per-original-iteration* bound is unchanged — but integral schedules of
+  the unfolded graph can realize fractional per-iteration rates;
+* execution semantics are preserved: the value stream of ``v@j`` at
+  unfolded iteration ``k`` equals the original ``v`` at ``J*k + j``
+  (initial register contents are remapped accordingly).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.errors import GraphError
+
+
+def unfolded_name(node: NodeId, j: int) -> Tuple[NodeId, int]:
+    """Canonical id of copy ``j`` of ``node`` (a ``(node, j)`` tuple)."""
+    return (node, j)
+
+
+def unfold(graph: DFG, factor: int, name: Optional[str] = None) -> DFG:
+    """Unfold ``graph`` by ``factor``.
+
+    Args:
+        graph: a legal cyclic DFG.
+        factor: unfolding factor ``J >= 1`` (1 returns a plain copy with
+            renamed ``(node, 0)`` ids for consistency).
+
+    Returns:
+        The unfolded DFG; node ids are ``(original_id, j)`` tuples, node
+        funcs are shared, and delayed edges carry correctly remapped
+        initial values when the original edge declared them.
+    """
+    if factor < 1:
+        raise GraphError(f"unfolding factor must be >= 1, got {factor}")
+    out = DFG(name if name is not None else f"{graph.name}x{factor}")
+    for j in range(factor):
+        for v in graph.nodes:
+            out.add_node(
+                unfolded_name(v, j),
+                graph.op(v),
+                time=graph.explicit_time(v),
+                label=f"{graph.label(v)}@{j}",
+                func=graph.func(v),
+                **graph.attrs(v),
+            )
+    for e in graph.edges:
+        init = graph.edge_init(e)
+        for j in range(factor):
+            target_copy = (j + e.delay) % factor
+            new_delay = (j + e.delay) // factor
+            new_init = None
+            if init is not None and new_delay:
+                # token i (0 <= i < new_delay, oldest first) of the unfolded
+                # edge is the original producer's value at iteration
+                # j - factor * (new_delay - i), i.e. original init index
+                # delay + j - factor * (new_delay - i).
+                new_init = tuple(
+                    init[e.delay + j - factor * (new_delay - i)]
+                    for i in range(new_delay)
+                )
+            out.add_edge(
+                unfolded_name(e.src, j),
+                unfolded_name(e.dst, target_copy),
+                new_delay,
+                init=new_init,
+            )
+    return out
+
+
+def fold_node(node: NodeId) -> Tuple[NodeId, int]:
+    """Split an unfolded node id back into ``(original, copy)``."""
+    if not (isinstance(node, tuple) and len(node) == 2 and isinstance(node[1], int)):
+        raise GraphError(f"{node!r} is not an unfolded node id")
+    return node

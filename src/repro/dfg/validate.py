@@ -1,0 +1,93 @@
+"""Structural validation of data-flow graphs.
+
+:func:`validate` gathers human-readable issues; :func:`assert_valid` raises
+on the first hard error.  "Hard" problems make scheduling meaningless
+(zero-delay cycles); "soft" problems are reported but tolerated (isolated
+nodes, unusual op names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.dfg.graph import DFG, Timing
+from repro.dfg.analysis import is_zero_delay_acyclic, _find_zero_delay_cycle
+from repro.errors import GraphError, ZeroDelayCycleError
+
+
+@dataclass(frozen=True)
+class Issue:
+    """A single validation finding."""
+
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.message}"
+
+
+def validate(
+    graph: DFG,
+    timing: Optional[Timing] = None,
+    known_ops: Optional[Sequence[str]] = None,
+) -> List[Issue]:
+    """Check a DFG and return all findings (empty list == clean).
+
+    Args:
+        graph: graph to check.
+        timing: when given, every op type must resolve to a time.
+        known_ops: when given, op types outside this set are warnings.
+    """
+    issues: List[Issue] = []
+
+    if graph.num_nodes == 0:
+        issues.append(Issue("warning", "graph has no nodes"))
+        return issues
+
+    if not is_zero_delay_acyclic(graph):
+        cycle = _find_zero_delay_cycle(graph, None)
+        issues.append(
+            Issue(
+                "error",
+                "zero-delay cycle (no static schedule exists): "
+                + " -> ".join(str(v) for v in cycle),
+            )
+        )
+
+    if timing is not None:
+        for v in graph.nodes:
+            try:
+                graph.time(v, timing)
+            except KeyError:
+                issues.append(
+                    Issue("error", f"node {v!r}: op {graph.op(v)!r} has no time in the timing model")
+                )
+
+    if known_ops is not None:
+        allowed = set(known_ops)
+        for v in graph.nodes:
+            if graph.op(v) not in allowed:
+                issues.append(Issue("warning", f"node {v!r}: unknown op {graph.op(v)!r}"))
+
+    isolated = [v for v in graph.nodes if not graph.in_edges(v) and not graph.out_edges(v)]
+    for v in isolated:
+        issues.append(Issue("warning", f"node {v!r} is isolated (no edges)"))
+
+    for e in graph.edges:
+        init = graph.edge_init(e)
+        if init is not None and len(init) != e.delay:  # pragma: no cover - guarded at set time
+            issues.append(Issue("error", f"edge {e}: {len(init)} initial values for {e.delay} delays"))
+
+    return issues
+
+
+def assert_valid(
+    graph: DFG,
+    timing: Optional[Timing] = None,
+    known_ops: Optional[Sequence[str]] = None,
+) -> None:
+    """Raise :class:`GraphError` if :func:`validate` finds any error."""
+    errors = [i for i in validate(graph, timing, known_ops) if i.severity == "error"]
+    if errors:
+        raise GraphError("; ".join(i.message for i in errors))

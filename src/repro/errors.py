@@ -1,0 +1,59 @@
+"""Exception hierarchy for the rotation-scheduling library.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch the library's failures without
+masking genuine programming bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Structural problem in a data-flow graph (unknown node, bad delay...)."""
+
+
+class ZeroDelayCycleError(GraphError):
+    """The zero-delay subgraph contains a cycle, so no static schedule exists.
+
+    A legal DFG must have at least one delay on every cycle; otherwise the
+    intra-iteration precedence relation is not a partial order.
+    """
+
+    def __init__(self, cycle):
+        self.cycle = list(cycle)
+        super().__init__(
+            "zero-delay cycle: " + " -> ".join(str(v) for v in self.cycle)
+        )
+
+
+class RetimingError(ReproError):
+    """A retiming is illegal for the graph it is applied to."""
+
+
+class RotationError(ReproError):
+    """A rotation operation cannot be performed (illegal size / set)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce or verify a schedule."""
+
+
+class ResourceError(ReproError):
+    """Problem in a resource model (unknown op, nonpositive count...)."""
+
+
+class IllegalScheduleError(SchedulingError):
+    """A schedule violates precedence or resource constraints.
+
+    Raised by the verifiers in :mod:`repro.schedule.verify` when no legal
+    retiming can realize the schedule (Theorem 2 of the paper: the constraint
+    graph has a negative cycle).
+    """
+
+
+class SimulationError(ReproError):
+    """The execution simulator detected a semantic violation."""

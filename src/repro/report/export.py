@@ -1,0 +1,57 @@
+"""Machine-readable exports of experiment results: CSV, JSON, Markdown."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def to_csv(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as CSV text (RFC-4180 quoting)."""
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(list(columns))
+    for row in rows:
+        writer.writerow(list(row))
+    return buf.getvalue()
+
+
+def to_json_records(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as a JSON array of records keyed by column name."""
+    records: List[Dict[str, Any]] = [
+        {col: value for col, value in zip(columns, row)} for row in rows
+    ]
+    return json.dumps(records, indent=2, default=str)
+
+
+def to_markdown(columns: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    head = "| " + " | ".join(str(c) for c in columns) + " |"
+    sep = "|" + "|".join("---" for _ in columns) + "|"
+    body = ["| " + " | ".join(str(x) for x in row) + " |" for row in rows]
+    return "\n".join([head, sep] + body)
+
+
+def schedule_records(schedule, retiming=None) -> List[Dict[str, Any]]:
+    """Flatten a schedule into exportable records (one per node)."""
+    graph = schedule.graph
+    out = []
+    for v in graph.nodes:
+        rec: Dict[str, Any] = {
+            "node": str(v),
+            "op": graph.op(v),
+            "start_cs": schedule.start(v),
+            "unit": schedule.unit_index(v),
+        }
+        if retiming is not None:
+            rec["rotation"] = retiming[v]
+        out.append(rec)
+    return out
+
+
+def write_text(path: str, text: str) -> None:
+    """Write text to a file (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

@@ -1,0 +1,75 @@
+"""ASCII Gantt charts of schedules and unrolled pipelines."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.schedule import Schedule
+from repro.schedule.unrolled import UnrolledSchedule
+
+
+def gantt(schedule: Schedule, width: int = 4) -> str:
+    """One row per unit instance, one column per control step.
+
+    Multi-cycle occupancy renders as repeated cells; pipelined units show
+    only the initiation cell (their tail runs in the unit's pipeline).
+    """
+    sched = schedule.normalized()
+    graph, model = sched.graph, sched.model
+    lanes: Dict[Tuple[str, int], Dict[int, str]] = {}
+    fallback_units: Dict[str, int] = {}
+    for v in graph.nodes:
+        op = graph.op(v)
+        unit = model.unit_for_op(op)
+        inst = sched.unit_index(v)
+        if inst is None:
+            inst = fallback_units.get(unit.name, 0)
+            fallback_units[unit.name] = (inst + 1) % unit.count
+        lane = lanes.setdefault((unit.name, inst), {})
+        for off in model.busy_offsets(op):
+            lane[sched.start(v) + off] = str(v) + ("'" * off)
+
+    span = range(sched.first_cs, sched.last_cs + 1)
+    label_w = max((len(f"{u}[{k}]") for u, k in lanes), default=6)
+    header = " " * (label_w + 1) + "".join(str(cs + 1).center(width) for cs in span)
+    lines = [header]
+    for (unit, inst) in sorted(lanes):
+        cells = "".join(
+            (lanes[(unit, inst)].get(cs, ".") or ".").center(width)[:width] for cs in span
+        )
+        lines.append(f"{unit}[{inst}]".ljust(label_w) + " " + cells)
+    return "\n".join(lines)
+
+
+def pipeline_gantt(
+    unrolled: UnrolledSchedule,
+    max_cs: Optional[int] = None,
+    width: int = 7,
+) -> str:
+    """Global-timeline chart (Figure 4 style): rows are control steps,
+    columns show which iteration each node instance belongs to."""
+    rows = unrolled.rows()
+    if max_cs is not None:
+        rows = [row for row in rows if row[0] <= max_cs]
+    lines = ["global | entries (node@iteration, * = prologue/epilogue)"]
+    for cs, entries in rows:
+        cells = []
+        for e in entries:
+            mark = "" if e.phase == "body" else "*"
+            cells.append(f"{e.node}@{e.iteration}{mark}")
+        lines.append(f"{cs:6} | " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def retiming_stages(retiming: Retiming, nodes: List[NodeId]) -> str:
+    """Compact view of pipeline stages (Figure 3/5 style)."""
+    groups: Dict[int, List[NodeId]] = {}
+    for v in nodes:
+        groups.setdefault(retiming[v], []).append(v)
+    lines = [
+        f"stage r={r}: " + ", ".join(str(v) for v in vs)
+        for r, vs in sorted(groups.items(), reverse=True)
+    ]
+    return "\n".join(lines)

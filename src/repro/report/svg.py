@@ -1,0 +1,173 @@
+"""Dependency-free SVG rendering of schedules and pipelines.
+
+Produces self-contained SVG documents (viewable in any browser) for:
+
+* :func:`schedule_svg` — the unit-lane Gantt chart of one static schedule,
+  with multi-cycle tails, pipeline-stage coloring by rotation count, and a
+  period marker for wrapped schedules;
+* :func:`pipeline_svg` — the unrolled global timeline (paper Figure 4):
+  prologue, overlapped bodies and epilogue, one band per iteration.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.schedule import Schedule
+from repro.schedule.unrolled import UnrolledSchedule
+
+#: categorical fill colors keyed by pipeline stage (rotation count)
+_STAGE_FILLS = ["#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2"]
+_CELL_W = 46
+_CELL_H = 26
+_LABEL_W = 84
+_HEADER_H = 30
+
+
+def _esc(text: object) -> str:
+    return html.escape(str(text))
+
+
+def _svg_doc(width: int, height: int, body: List[str]) -> str:
+    head = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        'font-family="monospace" font-size="11">'
+    )
+    style = (
+        "<style>rect.op{stroke:#333;stroke-width:0.8;}"
+        "text.lbl{dominant-baseline:central;}"
+        "text.cell{dominant-baseline:central;text-anchor:middle;fill:#fff;}"
+        "line.grid{stroke:#ccc;stroke-width:0.5;}"
+        "line.period{stroke:#d62728;stroke-width:1.5;stroke-dasharray:4 3;}"
+        "</style>"
+    )
+    return "\n".join([head, style, *body, "</svg>"]) + "\n"
+
+
+def schedule_svg(
+    schedule: Schedule,
+    retiming: Optional[Retiming] = None,
+    period: Optional[int] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Unit-lane Gantt chart of a static schedule as an SVG string."""
+    sched = schedule.normalized()
+    graph, model = sched.graph, sched.model
+
+    lanes: List[Tuple[str, int]] = []
+    for spec in model.units:
+        for k in range(spec.count):
+            lanes.append((spec.name, k))
+    lane_index = {lane: i for i, lane in enumerate(lanes)}
+
+    fallback: Dict[str, int] = {}
+    placements: List[Tuple[int, int, int, NodeId, int]] = []  # lane, cs, span, node, stage
+    for v in graph.nodes:
+        op = graph.op(v)
+        unit = model.unit_for_op(op)
+        k = sched.unit_index(v)
+        if k is None:
+            k = fallback.get(unit.name, 0)
+            fallback[unit.name] = (k + 1) % unit.count
+        offsets = list(model.busy_offsets(op))
+        span = (max(offsets) + 1) if offsets else 1
+        stage = retiming[v] if retiming is not None else 0
+        placements.append((lane_index[(unit.name, k)], sched.start(v), span, v, stage))
+
+    n_cs = sched.length
+    width = _LABEL_W + n_cs * _CELL_W + 10
+    height = _HEADER_H + len(lanes) * _CELL_H + 24
+    body: List[str] = []
+    if title:
+        body.append(f'<text x="4" y="12" font-weight="bold">{_esc(title)}</text>')
+    for cs in range(n_cs + 1):
+        x = _LABEL_W + cs * _CELL_W
+        body.append(
+            f'<line class="grid" x1="{x}" y1="{_HEADER_H}" x2="{x}" '
+            f'y2="{_HEADER_H + len(lanes) * _CELL_H}"/>'
+        )
+        if cs < n_cs:
+            body.append(
+                f'<text x="{x + _CELL_W // 2}" y="{_HEADER_H - 8}" '
+                f'text-anchor="middle">{cs + 1}</text>'
+            )
+    for (unit, k), i in lane_index.items():
+        y = _HEADER_H + i * _CELL_H
+        body.append(
+            f'<text class="lbl" x="4" y="{y + _CELL_H // 2}">{_esc(unit)}[{k}]</text>'
+        )
+    for lane, cs, span, node, stage in placements:
+        x = _LABEL_W + cs * _CELL_W
+        y = _HEADER_H + lane * _CELL_H + 2
+        fill = _STAGE_FILLS[stage % len(_STAGE_FILLS)]
+        body.append(
+            f'<rect class="op" x="{x + 1}" y="{y}" width="{span * _CELL_W - 2}" '
+            f'height="{_CELL_H - 4}" rx="3" fill="{fill}">'
+            f"<title>{_esc(graph.label(node))} (stage r={stage})</title></rect>"
+        )
+        body.append(
+            f'<text class="cell" x="{x + span * _CELL_W // 2}" '
+            f'y="{y + (_CELL_H - 4) // 2}">{_esc(node)}</text>'
+        )
+    if period is not None and period < n_cs:
+        x = _LABEL_W + period * _CELL_W
+        body.append(
+            f'<line class="period" x1="{x}" y1="{_HEADER_H - 4}" x2="{x}" '
+            f'y2="{_HEADER_H + len(lanes) * _CELL_H + 4}"/>'
+        )
+        body.append(
+            f'<text x="{x + 3}" y="{_HEADER_H + len(lanes) * _CELL_H + 16}" '
+            f'fill="#d62728">II = {period}</text>'
+        )
+    return _svg_doc(width, height, body)
+
+
+def pipeline_svg(unrolled: UnrolledSchedule, title: Optional[str] = None) -> str:
+    """Global-timeline chart of the unrolled pipeline (Figure 4 style)."""
+    sched = unrolled.schedule
+    graph, model = sched.graph, sched.model
+    entries = unrolled.entries
+    lo = min(e.global_cs for e in entries)
+    hi = max(e.global_cs + model.latency(graph.op(e.node)) for e in entries)
+    n_cs = hi - lo
+    rows = unrolled.iterations
+    width = _LABEL_W + n_cs * _CELL_W + 10
+    height = _HEADER_H + rows * _CELL_H + 20
+
+    body: List[str] = []
+    if title:
+        body.append(f'<text x="4" y="12" font-weight="bold">{_esc(title)}</text>')
+    for cs in range(n_cs + 1):
+        x = _LABEL_W + cs * _CELL_W
+        body.append(
+            f'<line class="grid" x1="{x}" y1="{_HEADER_H}" x2="{x}" '
+            f'y2="{_HEADER_H + rows * _CELL_H}"/>'
+        )
+    for i in range(rows):
+        y = _HEADER_H + i * _CELL_H
+        body.append(f'<text class="lbl" x="4" y="{y + _CELL_H // 2}">iter {i}</text>')
+    for e in entries:
+        span = model.latency(graph.op(e.node))
+        x = _LABEL_W + (e.global_cs - lo) * _CELL_W
+        y = _HEADER_H + e.iteration * _CELL_H + 2
+        fill = {"prologue": "#e15759", "epilogue": "#b07aa1"}.get(e.phase, "#4e79a7")
+        body.append(
+            f'<rect class="op" x="{x + 1}" y="{y}" width="{span * _CELL_W - 2}" '
+            f'height="{_CELL_H - 4}" rx="3" fill="{fill}">'
+            f"<title>{_esc(graph.label(e.node))}@it{e.iteration} ({e.phase})</title></rect>"
+        )
+        body.append(
+            f'<text class="cell" x="{x + span * _CELL_W // 2}" '
+            f'y="{y + (_CELL_H - 4) // 2}">{_esc(e.node)}</text>'
+        )
+    return _svg_doc(width, height, body)
+
+
+def save_svg(svg_text: str, path: str) -> None:
+    """Write an SVG document to disk."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg_text)

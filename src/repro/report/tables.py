@@ -1,0 +1,91 @@
+"""Paper-style table rendering: schedules and experiment matrices."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+
+
+def render_schedule(
+    schedule: Schedule,
+    model: Optional[ResourceModel] = None,
+    retiming: Optional[Retiming] = None,
+    one_based: bool = True,
+) -> str:
+    """Render a schedule as the paper's CS x unit-class table.
+
+    Multi-cycle operations show their tails as ``<name>'`` (matching the
+    paper's Figure 6 notation); the optional retiming adds an ``r`` column
+    listing rotated nodes per stage.
+    """
+    model = model or schedule.model
+    graph = schedule.graph
+    sched = schedule.normalized()
+    unit_names = [u.name for u in model.units]
+    rows: Dict[int, Dict[str, List[str]]] = {}
+    for v in graph.nodes:
+        op = graph.op(v)
+        unit = model.unit_for_op(op)
+        for off in model.busy_offsets(op):
+            tag = str(v) + ("'" * off)
+            rows.setdefault(sched.start(v) + off, {}).setdefault(unit.name, []).append(tag)
+
+    header = ["CS"] + [n.capitalize() for n in unit_names]
+    body: List[List[str]] = []
+    for cs in range(sched.first_cs, sched.last_cs + 1):
+        row = [str(cs + (1 if one_based else 0))]
+        for name in unit_names:
+            row.append(", ".join(rows.get(cs, {}).get(name, [])) or "-")
+        body.append(row)
+    table = _format_table(header, body)
+    if retiming is not None:
+        stages = retiming.stages(graph)
+        lines = [
+            f"  r={r}: " + ", ".join(str(v) for v in nodes)
+            for r, nodes in stages.items()
+            if r != 0
+        ]
+        if lines:
+            table += "\nrotated stages:\n" + "\n".join(lines)
+    return table
+
+
+def render_results_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Generic experiment matrix (Table 2 / Table 3 style)."""
+    header = list(columns)
+    body = [[_cell(x) for x in row] for row in rows]
+    return f"{title}\n" + _format_table(header, body)
+
+
+def render_table1(rows: Sequence[Tuple[str, int, int, int, int]]) -> str:
+    """The characteristics table: benchmark, #Mults, #Adds, CP, IB."""
+    return render_results_table(
+        "Table 1: Characteristics of the benchmarks",
+        ["Benchmark", "#Mults", "#Adds", "CP", "IB"],
+        rows,
+    )
+
+
+def _cell(x: object) -> str:
+    if isinstance(x, float):
+        return f"{x:.3g}"
+    return str(x)
+
+
+def _format_table(header: List[str], body: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: List[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(header), sep] + [fmt(r) for r in body])

@@ -1,0 +1,83 @@
+"""Priority (weight) functions for list scheduling.
+
+The paper uses "the number of descendants as the weight of a node in the
+list" for both ``FullSchedule`` and ``PartialSchedule``.  Alternatives are
+provided for experiments: height (longest path to a sink), mobility
+(ALAP - ASAP slack, lower is more urgent) and combinations.
+
+A priority function maps ``(graph, timing, r)`` to a dict of comparable
+keys; *larger* keys are scheduled first.  All functions return tuples so
+combinations stay lexicographic, and the schedulers add a deterministic
+node-index tiebreak.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId, Timing
+from repro.dfg.retiming import Retiming
+from repro.dfg.analysis import (
+    alap_times,
+    asap_times,
+    critical_path_length,
+    descendant_counts,
+    height_times,
+)
+
+PriorityFn = Callable[[DFG, Optional[Timing], Optional[Retiming]], Dict[NodeId, Tuple]]
+
+
+def descendant_priority(
+    graph: DFG, timing: Optional[Timing] = None, r: Optional[Retiming] = None
+) -> Dict[NodeId, Tuple]:
+    """Paper default: number of zero-delay descendants (bigger first)."""
+    counts = descendant_counts(graph, r)
+    return {v: (counts[v],) for v in graph.nodes}
+
+
+def height_priority(
+    graph: DFG, timing: Optional[Timing] = None, r: Optional[Retiming] = None
+) -> Dict[NodeId, Tuple]:
+    """Longest zero-delay path from the node to any sink (bigger first)."""
+    heights = height_times(graph, timing, r)
+    return {v: (heights[v],) for v in graph.nodes}
+
+
+def mobility_priority(
+    graph: DFG, timing: Optional[Timing] = None, r: Optional[Retiming] = None
+) -> Dict[NodeId, Tuple]:
+    """Negated slack: critical nodes (slack 0) first."""
+    asap = asap_times(graph, timing, r)
+    deadline = critical_path_length(graph, timing, r)
+    alap = alap_times(graph, deadline, timing, r)
+    return {v: (-(alap[v] - asap[v]),) for v in graph.nodes}
+
+
+def combined_priority(
+    graph: DFG, timing: Optional[Timing] = None, r: Optional[Retiming] = None
+) -> Dict[NodeId, Tuple]:
+    """Height first, descendant count as tiebreak — a strong general choice."""
+    heights = height_times(graph, timing, r)
+    counts = descendant_counts(graph, r)
+    return {v: (heights[v], counts[v]) for v in graph.nodes}
+
+
+PRIORITIES: Dict[str, PriorityFn] = {
+    "descendants": descendant_priority,
+    "height": height_priority,
+    "mobility": mobility_priority,
+    "combined": combined_priority,
+}
+
+
+def get_priority(name_or_fn) -> PriorityFn:
+    """Resolve a priority by name or pass a callable through."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return PRIORITIES[name_or_fn]
+    except KeyError:
+        raise ValueError(
+            f"unknown priority {name_or_fn!r}; choose from {sorted(PRIORITIES)}"
+        ) from None

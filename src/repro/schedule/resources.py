@@ -1,0 +1,159 @@
+"""Resource (functional-unit) models for resource-constrained scheduling.
+
+The paper's model (Sections 4, 6):
+
+* a *control step* (CS) is one clock cycle;
+* a **single-cycle** unit (the adder) computes in 1 CS;
+* a **multi-cycle** unit (the non-pipelined multiplier, latency 2) occupies
+  its unit for every CS of its execution;
+* a **pipelined** unit (the 2-stage multiplier ``Mp``) accepts a new
+  operation every CS — it occupies the unit only in the start CS — but its
+  *result* is available only after all stages ("the computation time of a
+  pipelined operation is the number of stages multiplied by the length of a
+  control step").
+
+:class:`ResourceModel` binds operation types to unit classes and exposes the
+latency/occupancy views the schedulers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dfg.graph import Timing
+from repro.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One class of functional units.
+
+    Attributes:
+        name: class name, e.g. ``"adder"``.
+        count: number of unit instances available per control step.
+        latency: control steps from operation start to result availability.
+        pipelined: when True the unit has initiation interval 1 — it is
+            busy only in the start CS; when False it is busy for all
+            ``latency`` steps.
+    """
+
+    name: str
+    count: int
+    latency: int = 1
+    pipelined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ResourceError(f"unit {self.name!r}: nonpositive count {self.count}")
+        if self.latency <= 0:
+            raise ResourceError(f"unit {self.name!r}: nonpositive latency {self.latency}")
+
+    @property
+    def busy_offsets(self) -> range:
+        """CS offsets (relative to start) during which an op holds the unit."""
+        return range(1) if self.pipelined else range(self.latency)
+
+    def describe(self) -> str:
+        kind = f"pipelined({self.latency} stages)" if self.pipelined else f"latency {self.latency}"
+        return f"{self.count}x {self.name} [{kind}]"
+
+
+class ResourceModel:
+    """Unit classes plus an op-type -> unit-class binding."""
+
+    def __init__(self, units: Sequence[UnitSpec], binding: Mapping[str, str]):
+        self._units: Dict[str, UnitSpec] = {}
+        for spec in units:
+            if spec.name in self._units:
+                raise ResourceError(f"duplicate unit class {spec.name!r}")
+            self._units[spec.name] = spec
+        self._binding: Dict[str, str] = dict(binding)
+        for op, unit in self._binding.items():
+            if unit not in self._units:
+                raise ResourceError(f"op {op!r} bound to unknown unit {unit!r}")
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def adders_mults(
+        cls,
+        adders: int,
+        mults: int,
+        *,
+        pipelined_mults: bool = False,
+        add_latency: int = 1,
+        mult_latency: int = 2,
+    ) -> "ResourceModel":
+        """The paper's experimental configuration.
+
+        ``adders_mults(3, 2)`` is the tables' "3A 2M";
+        ``adders_mults(3, 2, pipelined_mults=True)`` is "3A 2Mp".
+        """
+        return cls(
+            [
+                UnitSpec("adder", adders, add_latency, False),
+                UnitSpec("mult", mults, mult_latency, pipelined_mults),
+            ],
+            {"add": "adder", "sub": "adder", "cmp": "adder", "mul": "mult"},
+        )
+
+    @classmethod
+    def unit_time(cls, adders: int, mults: int) -> "ResourceModel":
+        """Unit-time adders and multipliers (the paper's Figure 2 setting)."""
+        return cls.adders_mults(adders, mults, mult_latency=1)
+
+    @classmethod
+    def single_class(cls, name: str, count: int, ops: Iterable[str], latency: int = 1, pipelined: bool = False) -> "ResourceModel":
+        """Homogeneous machine: every op runs on the same unit class."""
+        return cls([UnitSpec(name, count, latency, pipelined)], {op: name for op in ops})
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def units(self) -> List[UnitSpec]:
+        return list(self._units.values())
+
+    def unit(self, name: str) -> UnitSpec:
+        """Look a unit class up by name."""
+        try:
+            return self._units[name]
+        except KeyError:
+            raise ResourceError(f"unknown unit class {name!r}") from None
+
+    def unit_for_op(self, op: str) -> UnitSpec:
+        """The unit class an operation type executes on."""
+        try:
+            return self._units[self._binding[op]]
+        except KeyError:
+            raise ResourceError(f"op {op!r} is not bound to any unit class") from None
+
+    def ops_for_unit(self, name: str) -> List[str]:
+        """All op types bound to a unit class."""
+        return [op for op, unit in self._binding.items() if unit == name]
+
+    def latency(self, op: str) -> int:
+        """Result latency of an op in control steps (drives precedences)."""
+        return self.unit_for_op(op).latency
+
+    def busy_offsets(self, op: str) -> range:
+        """CS offsets during which an op of this type holds its unit."""
+        return self.unit_for_op(op).busy_offsets
+
+    def timing(self) -> Timing:
+        """Timing model where t(op) = latency(op); feeds CP/IB analyses."""
+        return Timing({op: self.unit(unit).latency for op, unit in self._binding.items()})
+
+    def label(self) -> str:
+        """Short tag in the paper's style, e.g. ``"3A 2Mp"``."""
+        parts = []
+        for spec in self._units.values():
+            letter = spec.name[0].upper()
+            suffix = "p" if spec.pipelined else ""
+            parts.append(f"{spec.count}{letter}{suffix}")
+        return " ".join(parts)
+
+    def describe(self) -> str:
+        """Long-form inventory, e.g. ``"3x adder [latency 1], ..."``."""
+        return ", ".join(spec.describe() for spec in self._units.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResourceModel({self.label()})"

@@ -1,0 +1,211 @@
+"""Static schedules: start times + unit assignments under a resource model.
+
+A schedule maps every node to the control step at which it *starts*.
+Control steps are integers; schedules produced by the library are
+0-based internally (reports render them 1-based like the paper's figures).
+The schedule *length* (span) runs from the earliest start to the latest
+finish — multi-cycle and pipelined tails count, matching the paper's
+Figure 6 where a trailing multiplier tail lengthens the schedule until
+wrapping recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class ResourceConflict:
+    """Over-subscription of a unit class at one control step."""
+
+    unit: str
+    cs: int
+    used: int
+    available: int
+    nodes: Tuple[NodeId, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CS {self.cs}: {self.used}/{self.available} {self.unit} busy "
+            f"({', '.join(map(str, self.nodes))})"
+        )
+
+
+class Schedule:
+    """An assignment of nodes to control steps (plus unit instances).
+
+    Instances are lightweight and copy-on-write style: mutating helpers
+    return new schedules.  ``units`` may be empty when the producer did not
+    assign instances (e.g. hand-written schedules in tests).
+    """
+
+    def __init__(
+        self,
+        graph: DFG,
+        model: ResourceModel,
+        start: Mapping[NodeId, int],
+        units: Optional[Mapping[NodeId, int]] = None,
+    ):
+        missing = [v for v in graph.nodes if v not in start]
+        if missing:
+            raise SchedulingError(f"schedule misses nodes: {missing[:5]}")
+        extra = [v for v in start if v not in graph]
+        if extra:
+            raise SchedulingError(f"schedule has unknown nodes: {extra[:5]}")
+        self.graph = graph
+        self.model = model
+        self._start: Dict[NodeId, int] = dict(start)
+        self._units: Dict[NodeId, int] = dict(units or {})
+
+    # -- basic queries -----------------------------------------------------
+    def start(self, node: NodeId) -> int:
+        """Control step at which ``node`` starts."""
+        return self._start[node]
+
+    def finish(self, node: NodeId) -> int:
+        """First CS strictly after the node's computation completes."""
+        return self._start[node] + self.model.latency(self.graph.op(node))
+
+    def unit_index(self, node: NodeId) -> Optional[int]:
+        """Assigned unit instance, or None when not recorded."""
+        return self._units.get(node)
+
+    @property
+    def start_map(self) -> Dict[NodeId, int]:
+        return dict(self._start)
+
+    @property
+    def unit_map(self) -> Dict[NodeId, int]:
+        return dict(self._units)
+
+    @property
+    def first_cs(self) -> int:
+        return min(self._start.values())
+
+    @property
+    def last_cs(self) -> int:
+        """Last control step occupied by any computation."""
+        return max(self.finish(v) for v in self.graph.nodes) - 1
+
+    @property
+    def length(self) -> int:
+        """Span in control steps, tails included (paper's schedule length)."""
+        return self.last_cs - self.first_cs + 1
+
+    def nodes_starting_in(self, lo: int, hi: int) -> List[NodeId]:
+        """Nodes with start CS in the inclusive range ``[lo, hi]``."""
+        return [v for v in self.graph.nodes if lo <= self._start[v] <= hi]
+
+    def nodes_at(self, cs: int) -> List[NodeId]:
+        """Nodes *occupying a unit* at CS (respects pipelined occupancy)."""
+        out = []
+        for v in self.graph.nodes:
+            s = self._start[v]
+            if any(s + off == cs for off in self.model.busy_offsets(self.graph.op(v))):
+                out.append(v)
+        return out
+
+    # -- derived schedules -----------------------------------------------
+    def normalized(self) -> "Schedule":
+        """Shift so the first control step is 0."""
+        lo = self.first_cs
+        if lo == 0:
+            return self
+        return self.shifted(-lo)
+
+    def shifted(self, offset: int) -> "Schedule":
+        """Uniform shift of every start time (the paper's 'shift up by i')."""
+        return Schedule(
+            self.graph,
+            self.model,
+            {v: s + offset for v, s in self._start.items()},
+            self._units,
+        )
+
+    def with_updates(
+        self,
+        start_updates: Mapping[NodeId, int],
+        unit_updates: Optional[Mapping[NodeId, int]] = None,
+    ) -> "Schedule":
+        """A copy with some start times (and unit indices) replaced."""
+        start = dict(self._start)
+        start.update(start_updates)
+        units = dict(self._units)
+        if unit_updates:
+            units.update(unit_updates)
+        return Schedule(self.graph, self.model, start, units)
+
+    # -- resource feasibility -----------------------------------------------
+    def busy_table(self) -> Dict[Tuple[str, int], List[NodeId]]:
+        """Map ``(unit class, cs)`` to the nodes holding an instance then."""
+        table: Dict[Tuple[str, int], List[NodeId]] = {}
+        for v in self.graph.nodes:
+            op = self.graph.op(v)
+            unit = self.model.unit_for_op(op)
+            for off in self.model.busy_offsets(op):
+                table.setdefault((unit.name, self._start[v] + off), []).append(v)
+        return table
+
+    def resource_conflicts(self) -> List[ResourceConflict]:
+        """All control steps where a unit class is over-subscribed."""
+        conflicts = []
+        for (unit_name, cs), nodes in sorted(
+            self.busy_table().items(), key=lambda kv: (kv[0][1], kv[0][0])
+        ):
+            available = self.model.unit(unit_name).count
+            if len(nodes) > available:
+                conflicts.append(
+                    ResourceConflict(unit_name, cs, len(nodes), available, tuple(nodes))
+                )
+        return conflicts
+
+    def is_resource_feasible(self) -> bool:
+        """True when no unit class is over-subscribed at any CS."""
+        return not self.resource_conflicts()
+
+    # -- precedence (DAG) legality -------------------------------------------
+    def dag_violations(self, r: Optional[Retiming] = None) -> List[str]:
+        """Zero-delay precedence violations of ``Gr`` (Lemma 1 direction).
+
+        An edge with ``dr(e) == 0`` requires ``s(u) + t(u) <= s(v)``.
+        """
+        out = []
+        for e in self.graph.edges:
+            dr = e.delay if r is None else r.dr(e)
+            if dr == 0 and self.finish(e.src) > self._start[e.dst]:
+                out.append(
+                    f"{e.src}->{e.dst}: finish {self.finish(e.src)} > start {self._start[e.dst]}"
+                )
+        return out
+
+    def is_legal_dag_schedule(self, r: Optional[Retiming] = None) -> bool:
+        """Resource-feasible and zero-delay-precedence-respecting under r."""
+        return self.is_resource_feasible() and not self.dag_violations(r)
+
+    # ----------------------------------------------------------------------
+    def as_rows(self) -> List[Tuple[int, List[NodeId]]]:
+        """(cs, nodes starting there) rows, normalized order."""
+        by_cs: Dict[int, List[NodeId]] = {}
+        for v in self.graph.nodes:
+            by_cs.setdefault(self._start[v], []).append(v)
+        return sorted(by_cs.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schedule):
+            return self.graph is other.graph and self._start == other._start
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._start.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.graph.name!r}, len={self.length}, "
+            f"cs=[{self.first_cs}..{self.last_cs}])"
+        )

@@ -1,0 +1,152 @@
+"""Global (unrolled) view of a pipelined loop schedule — paper Figure 4.
+
+A static schedule of length ``L`` realized by a normalized retiming ``R``
+describes a software pipeline: body instance ``j`` executes node ``v`` for
+loop iteration ``j + R(v)``.  Unrolling places iteration ``i`` of node ``v``
+at global control step::
+
+    (i - R(v)) * L + offset(v)          offset(v) = s(v) - first_cs
+
+Executions with ``i < R(v)`` fall before body instance 0 — the *prologue*;
+executions past the last full body instance form the *epilogue*.  The
+unrolled timeline is what actually runs on the datapath, so its dependence
+check (:meth:`UnrolledSchedule.dependence_violations`) is the ground-truth
+legality test used by the property tests and the execution simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.schedule import Schedule
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class UnrolledEntry:
+    """One execution of one node in the global timeline."""
+
+    global_cs: int
+    node: NodeId
+    iteration: int
+    phase: str  # "prologue" | "body" | "epilogue"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CS{self.global_cs}: {self.node}@it{self.iteration} ({self.phase})"
+
+
+class UnrolledSchedule:
+    """The full execution of ``iterations`` loop iterations of a pipeline."""
+
+    def __init__(self, schedule: Schedule, retiming: Retiming, iterations: int):
+        graph = schedule.graph
+        max_r = max((retiming[v] for v in graph.nodes), default=0)
+        min_r = min((retiming[v] for v in graph.nodes), default=0)
+        if min_r < 0:
+            raise SchedulingError("unrolling expects a normalized retiming (min r = 0)")
+        if iterations < max_r + 1:
+            raise SchedulingError(
+                f"need at least depth={max_r + 1} iterations to fill the pipeline"
+            )
+        self.schedule = schedule
+        self.retiming = retiming
+        self.iterations = iterations
+        self.period = schedule.length
+        self.depth = 1 + max_r
+        self._max_r = max_r
+
+        first = schedule.first_cs
+        entries: List[UnrolledEntry] = []
+        for v in graph.nodes:
+            offset = schedule.start(v) - first
+            r = retiming[v]
+            for i in range(iterations):
+                j = i - r  # body index (negative => prologue)
+                if j < 0:
+                    phase = "prologue"
+                elif j > iterations - 1 - max_r:
+                    phase = "epilogue"
+                else:
+                    phase = "body"
+                entries.append(UnrolledEntry(j * self.period + offset, v, i, phase))
+        entries.sort(key=lambda t: (t.global_cs, str(t.node)))
+        self.entries = entries
+
+    # ------------------------------------------------------------------
+    def execution_time(self, node: NodeId, iteration: int) -> int:
+        """Global start CS of ``node``'s execution for ``iteration``."""
+        offset = self.schedule.start(node) - self.schedule.first_cs
+        return (iteration - self.retiming[node]) * self.period + offset
+
+    def phase_entries(self, phase: str) -> List[UnrolledEntry]:
+        return [e for e in self.entries if e.phase == phase]
+
+    @property
+    def prologue_length(self) -> int:
+        """Control steps before global CS 0 (body instance 0 start)."""
+        pro = self.phase_entries("prologue")
+        return -min((e.global_cs for e in pro), default=0)
+
+    @property
+    def makespan(self) -> int:
+        """Total control steps from the first start to the last finish."""
+        lat = lambda v: self.schedule.model.latency(self.schedule.graph.op(v))
+        lo = min(e.global_cs for e in self.entries)
+        hi = max(e.global_cs + lat(e.node) for e in self.entries)
+        return hi - lo
+
+    # ------------------------------------------------------------------
+    def dependence_violations(self) -> List[str]:
+        """Ground-truth check on the global timeline.
+
+        For every edge ``(u, v)`` with *original* delay ``d`` and every
+        iteration ``i >= d``: iteration ``i`` of ``v`` must start at or
+        after the finish of iteration ``i - d`` of ``u``.
+        """
+        graph = self.schedule.graph
+        model = self.schedule.model
+        out: List[str] = []
+        for e in graph.edges:
+            t_u = model.latency(graph.op(e.src))
+            for i in range(e.delay, self.iterations):
+                produced = self.execution_time(e.src, i - e.delay) + t_u
+                consumed = self.execution_time(e.dst, i)
+                if produced > consumed:
+                    out.append(
+                        f"{e.src}@it{i - e.delay} finishes {produced} > "
+                        f"{e.dst}@it{i} starts {consumed}"
+                    )
+                    break  # one witness per edge is enough
+        return out
+
+    def resource_violations(self) -> List[str]:
+        """Unit over-subscription anywhere on the global timeline."""
+        model = self.schedule.model
+        graph = self.schedule.graph
+        busy: Dict[Tuple[str, int], int] = {}
+        for entry in self.entries:
+            op = graph.op(entry.node)
+            unit = model.unit_for_op(op)
+            for off in model.busy_offsets(op):
+                key = (unit.name, entry.global_cs + off)
+                busy[key] = busy.get(key, 0) + 1
+        return [
+            f"global CS {cs}: {n}/{model.unit(u).count} {u} busy"
+            for (u, cs), n in sorted(busy.items(), key=lambda kv: kv[0][1])
+            if n > model.unit(u).count
+        ]
+
+    def rows(self) -> List[Tuple[int, List[UnrolledEntry]]]:
+        """Entries grouped by global CS, for rendering."""
+        grouped: Dict[int, List[UnrolledEntry]] = {}
+        for e in self.entries:
+            grouped.setdefault(e.global_cs, []).append(e)
+        return sorted(grouped.items())
+
+
+def unroll(schedule: Schedule, retiming: Retiming, iterations: int) -> UnrolledSchedule:
+    """Convenience constructor mirroring the paper's Figure 4 expansion."""
+    return UnrolledSchedule(schedule, retiming, iterations)

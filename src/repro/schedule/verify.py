@@ -1,0 +1,193 @@
+"""Legality verification of static schedules (paper Lemma 1 / Theorem 2).
+
+A schedule ``s`` is a legal *static* schedule of a cyclic DFG iff some legal
+retiming ``r`` makes it a legal DAG schedule of ``Gr``.  Theorem 2 reduces
+finding such an ``r`` to a system of difference constraints::
+
+    r(v) - r(u) <= d(u, v)          for every edge
+    r(v) - r(u) <= d(u, v) - 1      additionally when s(u) + t(u) > s(v)
+
+which is the dual of a single-source shortest-path problem: build the
+constraint graph ``H`` (pseudo-source ``v0`` with 0-length edges to every
+node), run Bellman–Ford, and read off ``r(v) = -Sh(v)``.  A negative cycle
+in ``H`` proves the schedule illegal.
+
+Because shortest paths produce the *pointwise-minimal* nonnegative solution,
+the retiming returned here also has minimal ``max r`` — it is exactly the
+paper's Section 3.2 depth-reduction algorithm (re-exported with that name in
+:mod:`repro.core.depth`).
+
+The same module hosts the modulo-schedule (wrapped schedule) checks shared
+by Section 4's wrapping and the modulo-scheduling baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.errors import IllegalScheduleError
+
+
+def realizing_retiming(schedule: Schedule, period: Optional[int] = None) -> Retiming:
+    """Find a legal retiming realizing ``schedule`` with minimal depth.
+
+    Args:
+        schedule: the static schedule to realize.
+        period: when given, treat the schedule as *wrapped* with this
+            initiation interval — the precedence condition becomes
+            ``s(u) + t(u) <= s(v) + period * dr(e)``, so the constraint
+            bound is ``d(e) - ceil((finish(u) - s(v)) / period)``.  When
+            None the plain Theorem 2 rule applies (bound drops by exactly 1
+            when ``finish(u) > s(v)``), which coincides with
+            ``period = schedule span``.
+
+    Returns:
+        A normalized retiming ``r`` such that the schedule is a legal DAG
+        schedule of ``Gr`` and ``1 + max r`` (the pipeline depth) is as
+        small as possible (shortest paths give the pointwise-minimal
+        nonnegative solution).
+
+    Raises:
+        IllegalScheduleError: when the constraint graph has a negative
+            cycle, i.e. no retiming realizes the schedule.
+    """
+    graph = schedule.graph
+    # Difference constraints r(dst) - r(src) <= bound, as H-edges src->dst.
+    h_edges: List[Tuple[NodeId, NodeId, int]] = []
+    for e in graph.edges:
+        overrun = schedule.finish(e.src) - schedule.start(e.dst)
+        if period is None:
+            need = 1 if overrun > 0 else 0
+        else:
+            need = max(0, -(-overrun // period))
+        h_edges.append((e.src, e.dst, e.delay - need))
+
+    # Bellman-Ford from the pseudo-source (implicit: all distances start 0).
+    dist: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
+    for _ in range(graph.num_nodes):
+        changed = False
+        for u, v, w in h_edges:
+            nd = dist[u] + w
+            if nd < dist[v]:
+                dist[v] = nd
+                changed = True
+        if not changed:
+            break
+    else:
+        for u, v, w in h_edges:
+            if dist[u] + w < dist[v]:
+                raise IllegalScheduleError(
+                    "no retiming realizes this schedule "
+                    f"(negative cycle through edge {u!r}->{v!r})"
+                )
+
+    # dist is the pointwise-maximal solution of r(v) - r(u) <= w with r <= 0
+    # (Bellman-Ford from an implicit source); normalizing lifts min r to 0.
+    return Retiming(dist).normalized(graph)
+
+
+def is_legal_static_schedule(schedule: Schedule) -> bool:
+    """Lemma 1 check: resource-feasible and realizable by some retiming."""
+    if not schedule.is_resource_feasible():
+        return False
+    try:
+        realizing_retiming(schedule)
+        return True
+    except IllegalScheduleError:
+        return False
+
+
+def check_schedule(schedule: Schedule, r: Optional[Retiming] = None) -> List[str]:
+    """All problems of a schedule, as human-readable strings.
+
+    With ``r`` given, precedence is checked against that specific retiming;
+    otherwise a realizing retiming is searched for.
+    """
+    problems = [str(c) for c in schedule.resource_conflicts()]
+    if r is not None:
+        if not r.is_legal(schedule.graph):
+            problems.append("retiming itself is illegal for the graph")
+        problems.extend(schedule.dag_violations(r))
+    else:
+        try:
+            realizing_retiming(schedule)
+        except IllegalScheduleError as exc:
+            problems.append(str(exc))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# modulo-schedule (wrapped schedule) checks
+# ----------------------------------------------------------------------
+def modulo_resource_conflicts(
+    graph: DFG,
+    model: ResourceModel,
+    start: Mapping[NodeId, int],
+    period: int,
+) -> List[str]:
+    """Unit over-subscription of the modulo reservation table.
+
+    A node occupying CS ``s + off`` occupies slot ``(s + off) mod period``
+    of every repetition of the static schedule.
+    """
+    if period <= 0:
+        raise IllegalScheduleError(f"nonpositive period {period}")
+    table: Dict[Tuple[str, int], List[NodeId]] = {}
+    for v in graph.nodes:
+        op = graph.op(v)
+        unit = model.unit_for_op(op)
+        if not unit.pipelined and unit.latency > period:
+            return [
+                f"{v!r}: non-pipelined latency {unit.latency} exceeds period {period}"
+            ]
+        for off in model.busy_offsets(op):
+            table.setdefault((unit.name, (start[v] + off) % period), []).append(v)
+    out = []
+    for (unit_name, slot), nodes in sorted(table.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+        available = model.unit(unit_name).count
+        if len(nodes) > available:
+            out.append(
+                f"slot {slot}: {len(nodes)}/{available} {unit_name} busy "
+                f"({', '.join(map(str, nodes))})"
+            )
+    return out
+
+
+def modulo_precedence_violations(
+    graph: DFG,
+    model: ResourceModel,
+    start: Mapping[NodeId, int],
+    period: int,
+    r: Optional[Retiming] = None,
+) -> List[str]:
+    """Inter-iteration precedence: ``s(u) + t(u) <= s(v) + period * dr(e)``.
+
+    With ``r`` None the original delays are used (the modulo-scheduling
+    baseline's convention, where ``start`` values may exceed the period and
+    encode the iteration skew directly).
+    """
+    out = []
+    for e in graph.edges:
+        dr = e.delay if r is None else r.dr(e)
+        lhs = start[e.src] + model.latency(graph.op(e.src))
+        rhs = start[e.dst] + period * dr
+        if lhs > rhs:
+            out.append(f"{e.src}->{e.dst} (dr={dr}): {lhs} > {rhs}")
+    return out
+
+
+def is_legal_modulo_schedule(
+    graph: DFG,
+    model: ResourceModel,
+    start: Mapping[NodeId, int],
+    period: int,
+    r: Optional[Retiming] = None,
+) -> bool:
+    """Full wrapped-schedule legality (resources modulo period + precedence)."""
+    return not modulo_resource_conflicts(graph, model, start, period) and not (
+        modulo_precedence_violations(graph, model, start, period, r)
+    )

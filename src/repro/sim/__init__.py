@@ -1,0 +1,17 @@
+"""Execution simulators: reference loop, software pipeline, machine model."""
+
+from repro.sim.reference import ReferenceExecutor, reference_run
+from repro.sim.executor import PipelineExecutor, PipelineRunReport, verify_pipeline
+from repro.sim.machine import MachineReport, MachineSimulator, UnitUtilization, simulate_machine
+
+__all__ = [
+    "MachineReport",
+    "MachineSimulator",
+    "PipelineExecutor",
+    "PipelineRunReport",
+    "ReferenceExecutor",
+    "UnitUtilization",
+    "reference_run",
+    "simulate_machine",
+    "verify_pipeline",
+]

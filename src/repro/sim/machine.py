@@ -1,0 +1,143 @@
+"""Functional-unit-level simulation of a pipelined loop schedule.
+
+Where :mod:`repro.sim.executor` checks *values*, this module checks the
+*datapath*: it walks the global timeline control step by control step,
+dispatches node instances to concrete unit instances, models multi-cycle
+occupancy and pipelined initiation, and reports structural hazards and
+per-unit utilization.  Utilization at the steady state is the figure of
+merit HLS people actually read off a schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import DFG, NodeId
+from repro.dfg.retiming import Retiming
+from repro.schedule.schedule import Schedule
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class UnitUtilization:
+    """Busy statistics for one unit class over the simulated window."""
+
+    unit: str
+    instances: int
+    busy_slots: int
+    window: int
+
+    @property
+    def utilization(self) -> float:
+        total = self.instances * self.window
+        return self.busy_slots / total if total else 0.0
+
+
+@dataclass
+class MachineReport:
+    """Result of a machine-level simulation."""
+
+    iterations: int
+    period: int
+    hazards: List[str] = field(default_factory=list)
+    utilization: Dict[str, UnitUtilization] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.hazards
+
+    def summary(self) -> str:
+        parts = [
+            f"{u.unit}: {100 * u.utilization:.0f}% over {u.instances} unit(s)"
+            for u in self.utilization.values()
+        ]
+        status = "clean" if self.ok else f"{len(self.hazards)} hazard(s)"
+        return f"machine sim ({status}; period {self.period}): " + ", ".join(parts)
+
+
+class MachineSimulator:
+    """Dispatches the pipeline's node instances onto unit instances."""
+
+    def __init__(self, schedule: Schedule, retiming: Retiming, period: Optional[int] = None):
+        self.schedule = schedule.normalized()
+        self.retiming = retiming
+        self.period = self.schedule.length if period is None else period
+        if self.period <= 0:
+            raise SimulationError(f"nonpositive period {self.period}")
+        self.graph = schedule.graph
+        self.model = schedule.model
+
+    def _start(self, node: NodeId, iteration: int) -> int:
+        return (iteration - self.retiming[node]) * self.period + self.schedule.start(node)
+
+    def run(self, iterations: int) -> MachineReport:
+        """Simulate ``iterations`` loop iterations on the datapath.
+
+        Steady-state utilization is measured over the fully-overlapped body
+        window (prologue and epilogue excluded).
+        """
+        depth = self.retiming.depth(self.graph)
+        if iterations < depth + 1:
+            raise SimulationError(
+                f"need more than depth={depth} iterations for a steady state"
+            )
+        report = MachineReport(iterations=iterations, period=self.period)
+        busy: Dict[Tuple[str, int], List[Optional[NodeId]]] = {}
+
+        def slots(unit_name: str, cs: int) -> List[Optional[NodeId]]:
+            key = (unit_name, cs)
+            if key not in busy:
+                busy[key] = [None] * self.model.unit(unit_name).count
+            return busy[key]
+
+        # dispatch in global time order with greedy instance binding
+        instances = [
+            (self._start(v, i), v, i)
+            for v in self.graph.nodes
+            for i in range(iterations)
+        ]
+        instances.sort(key=lambda t: (t[0], str(t[1])))
+        for when, v, i in instances:
+            op = self.graph.op(v)
+            unit = self.model.unit_for_op(op)
+            offsets = list(self.model.busy_offsets(op))
+            chosen = None
+            for k in range(unit.count):
+                if all(slots(unit.name, when + off)[k] is None for off in offsets):
+                    chosen = k
+                    break
+            if chosen is None:
+                report.hazards.append(
+                    f"structural hazard: no free {unit.name} for {v!r}@it{i} at CS {when}"
+                )
+                continue
+            for off in offsets:
+                slots(unit.name, when + off)[chosen] = v
+
+        # steady-state window: body instances [depth, iterations - depth)
+        lo = (max(0, depth - 1)) * self.period
+        hi = (iterations - depth + 1) * self.period
+        window = max(1, hi - lo)
+        for unit in self.model.units:
+            used = sum(
+                1
+                for (name, cs), row in busy.items()
+                if name == unit.name and lo <= cs < hi
+                for x in row
+                if x is not None
+            )
+            report.utilization[unit.name] = UnitUtilization(
+                unit.name, unit.count, used, window
+            )
+        return report
+
+
+def simulate_machine(
+    schedule: Schedule,
+    retiming: Retiming,
+    iterations: int = 30,
+    period: Optional[int] = None,
+) -> MachineReport:
+    """One-call machine-level simulation."""
+    return MachineSimulator(schedule, retiming, period).run(iterations)

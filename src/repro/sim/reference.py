@@ -1,0 +1,74 @@
+"""Reference (non-pipelined) execution of a DFG's loop semantics.
+
+Each node carries a Python callable (``DFG.func``); edge ``(u, v)`` with
+``d`` delays feeds ``u``'s value of iteration ``i - d`` into ``v`` at
+iteration ``i`` — for ``i < d`` the edge's declared initial register
+contents are used (oldest first), defaulting to 0.0.
+
+The reference executor evaluates iterations strictly one at a time in
+zero-delay topological order — the semantics of the *unpipelined* loop.
+The pipeline executor in :mod:`repro.sim.executor` must reproduce these
+value streams exactly; that equivalence is the strongest correctness
+statement about rotation scheduling this library can test.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.dfg.graph import DFG, Edge, NodeId
+from repro.dfg.analysis import topological_order
+from repro.errors import SimulationError
+
+
+def operand_value(
+    graph: DFG,
+    edge: Edge,
+    iteration: int,
+    history: Dict[NodeId, List[Any]],
+) -> Any:
+    """The value flowing along ``edge`` into iteration ``iteration``."""
+    src_iter = iteration - edge.delay
+    if src_iter >= 0:
+        values = history[edge.src]
+        if src_iter >= len(values):
+            raise SimulationError(
+                f"edge {edge}: value of {edge.src!r}@it{src_iter} not computed yet"
+            )
+        return values[src_iter]
+    init = graph.edge_init(edge)
+    if init is None:
+        return 0.0
+    return init[iteration]  # index i for i < d, oldest first
+
+
+class ReferenceExecutor:
+    """Evaluates a DFG iteration-by-iteration (no pipelining)."""
+
+    def __init__(self, graph: DFG):
+        for v in graph.nodes:
+            if graph.func(v) is None:
+                raise SimulationError(
+                    f"node {v!r} has no func — attach semantics to simulate"
+                )
+        self.graph = graph
+        self._order = topological_order(graph)
+
+    def run(self, iterations: int) -> Dict[NodeId, List[Any]]:
+        """Execute ``iterations`` loop iterations; returns per-node streams."""
+        if iterations < 0:
+            raise SimulationError("negative iteration count")
+        graph = self.graph
+        history: Dict[NodeId, List[Any]] = {v: [] for v in graph.nodes}
+        for i in range(iterations):
+            for v in self._order:
+                args = [
+                    operand_value(graph, e, i, history) for e in graph.in_edges(v)
+                ]
+                history[v].append(graph.func(v)(*args))
+        return history
+
+
+def reference_run(graph: DFG, iterations: int) -> Dict[NodeId, List[Any]]:
+    """One-call reference execution."""
+    return ReferenceExecutor(graph).run(iterations)

@@ -1,0 +1,37 @@
+"""Benchmark DFGs: the paper's five filters plus synthetic generators."""
+
+from repro.suite.diffeq import diffeq
+from repro.suite.elliptic import elliptic
+from repro.suite.lattice import lattice
+from repro.suite.allpole import allpole
+from repro.suite.biquad import biquad
+from repro.suite.registry import (
+    BENCHMARKS,
+    PAPER_TIMING,
+    UNIT_TIMING,
+    BenchmarkInfo,
+    all_benchmarks,
+    data_path,
+    get_benchmark,
+    load_benchmark_json,
+)
+from repro.suite.random_graphs import random_chain_loop, random_dfg, random_dsp_kernel
+
+__all__ = [
+    "BENCHMARKS",
+    "PAPER_TIMING",
+    "UNIT_TIMING",
+    "BenchmarkInfo",
+    "all_benchmarks",
+    "data_path",
+    "allpole",
+    "biquad",
+    "diffeq",
+    "elliptic",
+    "get_benchmark",
+    "load_benchmark_json",
+    "lattice",
+    "random_chain_loop",
+    "random_dfg",
+    "random_dsp_kernel",
+]

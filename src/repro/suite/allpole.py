@@ -1,0 +1,75 @@
+"""The all-pole lattice filter benchmark (paper Tables 1 and 3).
+
+Reconstruction pinned to Table 1: 4 multiplications, 11 additions,
+CP = 16, IB = 8 (add = 1 CS, mult = 2 CS).
+
+The recursive core is the ratio-8 cycle
+``a1 -> a2 -> MA -> a3 -> a4 -> MB -(1 delay)-> a1`` (two lattice
+multipliers and four adders, t = 8).  A head adder and input multiplier
+(``h1 -> MC``) precede it and the denormalization tail
+(``MB -> MD -> t1 -> t2 -> t3``) follows it, giving the 16-unit critical
+path ``h1 MC a1 a2 MA a3 a4 MB MD t1 t2 t3``.  Two slack-free adder
+feedback arcs ``u1``/``v1`` (ratio-8 cycles through ``MB``) pin three
+additions to the same slot of the 8-step cadence — with two adders the
+iteration bound is unreachable and the schedule needs 9+ control steps,
+reproducing Table 3's all-pole shape (8 with 3 adders, 9-10 with 2, 11
+with 1, where the single adder becomes the bottleneck).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dfg.graph import DFG
+
+#: lattice coefficients for the execution simulator
+DEFAULT_COEFFS: Dict[str, float] = {"MA": 0.4, "MB": -0.35, "MC": 0.7, "MD": 0.5}
+
+
+def allpole(coeffs: Optional[Dict[str, float]] = None) -> DFG:
+    """Build the (reconstructed) all-pole lattice filter DFG."""
+    k = dict(DEFAULT_COEFFS)
+    if coeffs:
+        k.update(coeffs)
+
+    g = DFG("allpole")
+
+    def _sum(*xs: float) -> float:
+        return sum(xs)
+
+    def _scale(name: str):
+        coef = k[name]
+        return lambda x, _c=coef: _c * x
+
+    for name in ("h1", "a1", "a2", "a3", "a4", "t1", "t2", "t3", "u1", "v1", "x1"):
+        g.add_node(name, "add", func=_sum)
+    for name in ("MA", "MB", "MC", "MD"):
+        g.add_node(name, "mul", func=_scale(name))
+
+    # recursive core (ratio-8 critical cycle)
+    g.add_edge("a1", "a2", 0)
+    g.add_edge("a2", "MA", 0)
+    g.add_edge("MA", "a3", 0)
+    g.add_edge("a3", "a4", 0)
+    g.add_edge("a4", "MB", 0)
+    g.add_edge("MB", "a1", 1, init=[0.25])
+
+    # head (input side) and denormalization tail
+    g.add_edge("t3", "h1", 2, init=[0.1, 0.05])
+    g.add_edge("h1", "MC", 0)
+    g.add_edge("MC", "a1", 0)
+    g.add_edge("MB", "MD", 0)
+    g.add_edge("MD", "t1", 0)
+    g.add_edge("t1", "t2", 0)
+    g.add_edge("t2", "t3", 0)
+
+    # slack-free adder feedback arcs (both land in the a1 slot)
+    g.add_edge("MB", "u1", 1, init=[0.02])
+    g.add_edge("u1", "a2", 0)
+    g.add_edge("MB", "v1", 1, init=[0.03])
+    g.add_edge("v1", "a2", 0)
+
+    # loose side tap
+    g.add_edge("a1", "x1", 2, init=[0.0, 0.0])
+
+    return g

@@ -1,0 +1,80 @@
+"""The 2-cascaded biquad filter benchmark (paper Tables 1 and 3).
+
+Reconstruction pinned to Table 1: 8 multiplications, 8 additions,
+CP = 7, IB = 4 (add = 1 CS, mult = 2 CS).
+
+Each section ``j`` is a direct-form-II biquad::
+
+    w_j = x_j + a1_j * w_j[-1] + a2_j * w_j[-2]       (adds s_ja, s_jb)
+    y_j = b0_j * w_j + b1_j * w_j[-1]                 (add  y_j)
+
+The recursion ``w_j -(1 delay)-> ma1_j -> s_ja -> s_jb`` is the ratio-4
+critical cycle; the path ``ma1_1 -> s_1a -> s_1b -> mb0_1 -> y_1`` gives
+CP = 7.  The two sections are cascaded through a pipeline register
+(``y_1`` delayed into section 2) and the spare adders are an input
+combiner ``h`` and an output mixer ``o``, so the whole graph is loosely
+coupled — every Table 3 entry for this benchmark is resource-bound and
+rotation reaches all of them, down to 16 control steps for 1 adder and 1
+non-pipelined multiplier (eight 2-cycle multiplications serialized).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dfg.graph import DFG
+
+#: section coefficients for the execution simulator
+DEFAULT_COEFFS: Dict[str, float] = {
+    "ma1_1": 0.5, "ma2_1": -0.25, "mb0_1": 0.9, "mb1_1": 0.3,
+    "ma1_2": 0.4, "ma2_2": -0.2, "mb0_2": 0.8, "mb1_2": 0.25,
+}
+
+
+def biquad(coeffs: Optional[Dict[str, float]] = None) -> DFG:
+    """Build the (reconstructed) 2-cascaded biquad filter DFG."""
+    k = dict(DEFAULT_COEFFS)
+    if coeffs:
+        k.update(coeffs)
+
+    g = DFG("biquad")
+
+    def _sum(*xs: float) -> float:
+        return sum(xs)
+
+    def _scale(name: str):
+        coef = k[name]
+        return lambda x, _c=coef: _c * x
+
+    g.add_node("h", "add", func=_sum)
+    for j in (1, 2):
+        for name in (f"ma1_{j}", f"ma2_{j}", f"mb0_{j}", f"mb1_{j}"):
+            g.add_node(name, "mul", func=_scale(name))
+        for name in (f"s{j}a", f"s{j}b", f"y{j}"):
+            g.add_node(name, "add", func=_sum)
+    g.add_node("o", "add", func=_sum)
+
+    for j in (1, 2):
+        w = f"s{j}b"  # the section's state value w_j
+        # w recursion (ratio-4 critical cycle) and the 2-delay branch
+        g.add_edge(w, f"ma1_{j}", 1, init=[0.1 * j])
+        g.add_edge(f"ma1_{j}", f"s{j}a", 0)
+        g.add_edge(f"s{j}a", w, 0)
+        g.add_edge(w, f"ma2_{j}", 2, init=[0.0, 0.05 * j])
+        g.add_edge(f"ma2_{j}", w, 0)
+        # output half
+        g.add_edge(w, f"mb0_{j}", 0)
+        g.add_edge(w, f"mb1_{j}", 1, init=[0.02 * j])
+        g.add_edge(f"mb0_{j}", f"y{j}", 0)
+        g.add_edge(f"mb1_{j}", f"y{j}", 0)
+
+    # section inputs: conditioned input, then pipeline-registered cascade
+    g.add_edge("h", "s1a", 0)
+    g.add_edge("y1", "s2a", 1, init=[0.0])
+
+    # output mixer and global (delayed) feedback into the input combiner
+    g.add_edge("y2", "o", 1, init=[0.0])
+    g.add_edge("y1", "o", 2, init=[0.0, 0.0])
+    g.add_edge("o", "h", 2, init=[0.3, 0.15])
+
+    return g

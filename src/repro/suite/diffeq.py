@@ -1,0 +1,100 @@
+"""The differential-equation solver benchmark (paper Figure 1).
+
+The loop solves ``y'' + 3xy' + 3y = 0`` by Euler steps::
+
+    while (x < a):
+        x1 = x + dx
+        u1 = u - (3 * x * u * dx) - (3 * y * dx)
+        y1 = y + u * dx
+        x = x1; u = u1; y = y1
+
+Reconstruction notes (the paper gives the picture, not a netlist):
+
+* 11 nodes — multipliers {0, 1, 2, 3, 4, 7} and adder-class ops
+  {5, 6, 8, 9, 10}, matching Table 1 (6 mults, 5 adds).
+* Node 10 is the loop test ``x < a``.  The body's entry operations carry a
+  **zero-delay control dependence on node 10** — that is why the
+  multiplier column of the paper's Figure 2-(a) is empty at CS 1, why node
+  10 is a *root* of the original DAG, and why {1, 8} is not down-rotatable
+  on its own while {10} and {10, 8, 1} are (Section 2's examples).
+* Loop-carried values ``x, u, y`` come from nodes 8 (x1), 6 (u1) and
+  9 (y1) through single-delay edges; 8 and 9 also feed themselves.
+
+With this structure and the paper's list priority (descendant counts,
+ties by the node order used here) the initial 1-adder/1-multiplier
+unit-time schedule is *exactly* Figure 2-(a) (length 8), and the two
+size-1 down-rotations give Figures 2-(b) (7) and 2-(c) (6) — the tests in
+``tests/integration/test_paper_figures.py`` pin all three tables
+cell-by-cell.
+
+Check against Table 1 (add = 1 CS, mult = 2 CS): CP = 7 (path
+``10 -> 1 -> 3 -> 5 -> 6``), IB = 6 (cycle ``6 -> 0 -> 3 -> 5 -> 6``
+with one delay).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.dfg.graph import DFG
+
+#: default numeric parameters for simulation
+DEFAULT_PARAMS: Dict[str, float] = {"dx": 0.05, "a": 1.0, "x0": 0.0, "u0": 1.0, "y0": 0.3}
+
+
+def diffeq(params: Dict[str, float] | None = None) -> DFG:
+    """Build the differential-equation solver DFG.
+
+    Args:
+        params: numeric constants/initial values for the execution
+            simulator (keys ``dx``, ``a``, ``x0``, ``u0``, ``y0``);
+            defaults to :data:`DEFAULT_PARAMS`.
+    """
+    p = dict(DEFAULT_PARAMS)
+    if params:
+        p.update(params)
+    dx, a = p["dx"], p["a"]
+    x0, u0, y0 = p["x0"], p["u0"], p["y0"]
+
+    g = DFG("diffeq")
+    # Node order encodes the paper's tie-breaking (see module docstring).
+    g.add_node(10, "cmp", label="x<a", func=lambda x: 1.0 if x < a else 0.0)
+    g.add_node(1, "mul", label="3*x", func=lambda _c, x: 3.0 * x)
+    g.add_node(0, "mul", label="u*dx", func=lambda _c, u: u * dx)
+    g.add_node(3, "mul", label="(3x)*(u dx)", func=lambda m1, m0: m1 * m0)
+    g.add_node(2, "mul", label="3*y", func=lambda _c, y: 3.0 * y)
+    g.add_node(8, "add", label="x+dx", func=lambda _c, x: x + dx)
+    g.add_node(5, "sub", label="u-3xudx", func=lambda u, m3: u - m3)
+    g.add_node(4, "mul", label="(3y)*dx", func=lambda m2: m2 * dx)
+    g.add_node(7, "mul", label="u*dx'", func=lambda _c, u: u * dx)
+    g.add_node(6, "sub", label="u1", func=lambda s1, m4: s1 - m4)
+    g.add_node(9, "add", label="y1", func=lambda y, m7: y + m7)
+
+    # loop test reads the previous iteration's x1
+    g.add_edge(8, 10, 1, init=[x0])
+
+    # control dependence: the test gates the body's entry operations
+    for root in (1, 0, 2, 8, 7):
+        g.add_edge(10, root, 0)
+
+    # u1 = u - (3x)(u dx) - (3y)(dx)
+    g.add_edge(8, 1, 1, init=[x0])      # x into 3*x
+    g.add_edge(6, 0, 1, init=[u0])      # u into u*dx
+    g.add_edge(1, 3, 0)
+    g.add_edge(0, 3, 0)
+    g.add_edge(9, 2, 1, init=[y0])      # y into 3*y
+    g.add_edge(6, 5, 1, init=[u0])      # u into the first subtraction
+    g.add_edge(3, 5, 0)
+    g.add_edge(2, 4, 0)
+    g.add_edge(5, 6, 0)
+    g.add_edge(4, 6, 0)
+
+    # x1 = x + dx (self-carried)
+    g.add_edge(8, 8, 1, init=[x0])
+
+    # y1 = y + u*dx (self-carried y; second u*dx multiplier)
+    g.add_edge(6, 7, 1, init=[u0])
+    g.add_edge(9, 9, 1, init=[y0])
+    g.add_edge(7, 9, 0)
+
+    return g

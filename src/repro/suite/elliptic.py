@@ -1,0 +1,133 @@
+"""The 5th-order elliptic wave filter benchmark (paper Tables 1 and 2).
+
+**Reconstruction note.**  The paper uses the classic elliptic wave digital
+filter from Kung, Whitehouse & Kailath (corrected per Paulin & Knight) but
+does not include the netlist, and the exact edge list is not recoverable
+from the text.  This module therefore provides a *reconstructed* filter
+DFG that pins every scheduling-relevant characteristic of Table 1:
+
+========================  ======  ==========
+characteristic             paper   this graph
+========================  ======  ==========
+multiplications            8       8
+adder-class operations     26      26
+critical path (CP)         17      17
+iteration bound (IB)       16      16
+========================  ======  ==========
+
+with add = 1 CS and (non-pipelined) mult = 2 CS.  Structurally it follows
+the wave-digital-filter shape the original has: one long adaptor chain
+closed through a state register (the ratio-16 critical cycle ``c1 .. c12``
+with multipliers ``M1``/``M2`` embedded), slack-free adder feedback arcs
+(``f1``, ``f2`` and the two-adder arc ``g1``-``g2``), a slack-free
+multiplier branch (``s1``-``M3``-``s2``-``s3``), coefficient branches
+``M4``/``M5``, an output cascade ``M6``-``M8``, and an auxiliary tap
+``M7`` — 8 state registers in total.
+
+The slack-free arcs make two control-step slots of the 16-step cadence
+carry *three* fixed additions, which is what forces 17 control steps with
+two adders while three adders still reach the iteration bound — exactly
+Table 2's shape.  Measured against Table 2 (see EXPERIMENTS.md): all
+seven resource configurations match except 2A 1M, where this graph gives
+18 and the paper reports 19 (the single cell where the paper's own result
+exceeds its lower bound of 17).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dfg.graph import DFG
+
+#: filter coefficients used by the execution simulator (synthetic but stable)
+DEFAULT_COEFFS: Dict[str, float] = {
+    "M1": 0.375,
+    "M2": 0.5,
+    "M3": 0.25,
+    "M4": 0.125,
+    "M5": 0.1875,
+    "M6": 0.3125,
+    "M7": 0.0625,
+    "M8": 0.4375,
+}
+
+
+def elliptic(coeffs: Optional[Dict[str, float]] = None) -> DFG:
+    """Build the (reconstructed) 5th-order elliptic wave filter DFG.
+
+    Args:
+        coeffs: multiplier coefficients for numeric simulation; defaults
+            to :data:`DEFAULT_COEFFS`.  Adder-class nodes sum their data
+            inputs; multiplier nodes scale their single input.
+    """
+    k = dict(DEFAULT_COEFFS)
+    if coeffs:
+        k.update(coeffs)
+
+    g = DFG("elliptic")
+
+    def _sum(*xs: float) -> float:
+        return sum(xs)
+
+    adds = [
+        "h1",
+        *[f"c{i}" for i in range(1, 13)],
+        "s1", "s2", "s3",
+        "f1", "f2", "g1", "g2",
+        "o1", "q1", "q2", "q3", "q4", "q5",
+    ]
+    for a in adds:
+        g.add_node(a, "add", func=_sum)
+    for m in sorted(k):
+        coef = k[m]
+        g.add_node(m, "mul", func=lambda x, _c=coef: _c * x)
+
+    # Adaptor chain: the ratio-16 critical cycle (12 adds + 2 mults, 1 delay).
+    chain = ["c1", "c2", "c3", "M1", "c4", "c5", "c6", "c7", "M2",
+             "c8", "c9", "c10", "c11", "c12"]
+    for a, b in zip(chain, chain[1:]):
+        g.add_edge(a, b, 0)
+    g.add_edge("c12", "c1", 1, init=[0.5])
+
+    # Input-side summation head (critical path = 17).
+    g.add_edge("c12", "h1", 2, init=[0.25, 0.125])
+    g.add_edge("h1", "c1", 0)
+
+    # Slack-free multiplier branch: c4 -> s1 -> M3 -> s2 -> s3 -> c8.
+    g.add_edge("c4", "s1", 0)
+    g.add_edge("s1", "M3", 0)
+    g.add_edge("M3", "s2", 0)
+    g.add_edge("s2", "s3", 0)
+    g.add_edge("s3", "c8", 0)
+
+    # Slack-free adder feedback arcs (ratio-16 cycles).
+    g.add_edge("c11", "f1", 1, init=[0.0625])
+    g.add_edge("f1", "c1", 0)
+    g.add_edge("c12", "f2", 1, init=[0.03125])
+    g.add_edge("f2", "c2", 0)
+    g.add_edge("c11", "g1", 1, init=[0.015625])
+    g.add_edge("g1", "g2", 0)
+    g.add_edge("g2", "c2", 0)
+
+    # Auxiliary tap through M7 back into the chain.
+    g.add_edge("c12", "o1", 1, init=[0.2])
+    g.add_edge("o1", "M7", 0)
+    g.add_edge("M7", "c5", 0)
+
+    # Coefficient branches M4 / M5.
+    g.add_edge("c5", "q1", 1, init=[0.1])
+    g.add_edge("q1", "M4", 0)
+    g.add_edge("M4", "q2", 0)
+    g.add_edge("q2", "c10", 0)
+    g.add_edge("c8", "q3", 1, init=[0.05])
+    g.add_edge("q3", "M5", 0)
+    g.add_edge("M5", "q4", 0)
+    g.add_edge("q4", "c11", 0)
+
+    # Output cascade M6 -> M8 re-entering the chain tail.
+    g.add_edge("c9", "q5", 1, init=[0.025])
+    g.add_edge("q5", "M6", 0)
+    g.add_edge("M6", "M8", 0)
+    g.add_edge("M8", "c12", 0)
+
+    return g

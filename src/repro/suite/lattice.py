@@ -1,0 +1,103 @@
+"""The 4-stage lattice filter benchmark (paper Tables 1 and 3).
+
+Reconstruction (see the elliptic module for the general caveat): a
+four-stage two-multiplier lattice with per-stage output taps, input
+conditioning and an output scaler, pinned to Table 1 — 15 multiplications,
+11 additions, CP = 10, IB = 2 (add = 1 CS, mult = 2 CS).
+
+Per stage ``i``:
+
+* ``mA_i`` — reflection multiplier on the stage's own backward value,
+  three iterations back (``b_i`` via a 3-delay edge); the stage recursion
+  ``b_i -> mA_i -> f_i -> mB_i -> b_i`` is the critical cycle with ratio
+  ``6/3 = 2``.
+* ``f_i = f_{i-1} + mA_i`` — forward ladder (zero-delay chain).
+* ``mB_i`` — backward multiplier on ``f_i``; ``b_i = mB_i + b_{i-1}``
+  (zero-delay backward chain, closed by a 2-delay wrap so its ratio is
+  ``4/2 = 2``).
+* ``mC_i`` — output tap (delayed for stages 1-4), summed by ``o2..o4``;
+  the last stage's backward value enters the output sum directly, making
+  the critical path ``mA_1 -> f_1 -> mB_1 -> b_1 -> b_2 -> b_3 -> b_4 ->
+  o4`` of length 10.
+
+Input conditioning ``mI1 -> mI2`` closes the forward ladder through 5
+delays (ratio 1.6) and ``mO`` scales the summed output.
+
+Every cycle has ratio exactly 2 or less, so the graph pipelines deeply —
+Table 3 reaches the iteration bound (period 2, depth 5-6) with 6 adders
+and 8 pipelined / 15 non-pipelined multipliers, and every other
+configuration is resource-bound, matching the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dfg.graph import DFG
+
+#: reflection/tap coefficients for the execution simulator
+DEFAULT_COEFFS: Dict[str, float] = {
+    "mA1": 0.25, "mA2": -0.3, "mA3": 0.2, "mA4": -0.15,
+    "mB1": 0.5, "mB2": 0.4, "mB3": -0.35, "mB4": 0.3,
+    "mC1": 0.1, "mC2": 0.12, "mC3": -0.08, "mC4": 0.09,
+    "mI1": 0.6, "mI2": 0.55, "mO": 0.5,
+}
+
+
+def lattice(coeffs: Optional[Dict[str, float]] = None) -> DFG:
+    """Build the (reconstructed) 4-stage lattice filter DFG."""
+    k = dict(DEFAULT_COEFFS)
+    if coeffs:
+        k.update(coeffs)
+
+    g = DFG("lattice")
+
+    def _sum(*xs: float) -> float:
+        return sum(xs)
+
+    def _scale(name: str):
+        coef = k[name]
+        return lambda x, _c=coef: _c * x
+
+    for i in range(1, 5):
+        g.add_node(f"mA{i}", "mul", func=_scale(f"mA{i}"))
+        g.add_node(f"f{i}", "add", func=_sum)
+        g.add_node(f"mB{i}", "mul", func=_scale(f"mB{i}"))
+        g.add_node(f"b{i}", "add", func=_sum)
+        g.add_node(f"mC{i}", "mul", func=_scale(f"mC{i}"))
+    for name in ("mI1", "mI2", "mO"):
+        g.add_node(name, "mul", func=_scale(name))
+    for name in ("o2", "o3", "o4"):
+        g.add_node(name, "add", func=_sum)
+
+    for i in range(1, 5):
+        # stage recursion (ratio-2 critical cycle)
+        g.add_edge(f"b{i}", f"mA{i}", 3, init=[0.0, 0.0, 0.1 * i])
+        g.add_edge(f"mA{i}", f"f{i}", 0)
+        g.add_edge(f"f{i}", f"mB{i}", 0)
+        g.add_edge(f"mB{i}", f"b{i}", 0)
+        if i > 1:
+            g.add_edge(f"f{i-1}", f"f{i}", 0)   # forward ladder
+            g.add_edge(f"b{i-1}", f"b{i}", 0)   # backward ladder
+
+    # ladder wraps
+    g.add_edge("b4", "b1", 2, init=[0.05, 0.02])
+    g.add_edge("f4", "mI1", 4, init=[0.2, 0.1, 0.05, 0.02])
+    g.add_edge("mI1", "mI2", 0)
+    g.add_edge("mI2", "f1", 1, init=[0.3])
+
+    # output taps and sum (tap 1-4 delayed; b4 enters directly -> CP 10)
+    for i in range(1, 5):
+        g.add_edge(f"b{i}", f"mC{i}", 1, init=[0.01 * i])
+    g.add_edge("mC1", "o2", 0)
+    g.add_edge("mC2", "o2", 0)
+    g.add_edge("o2", "o3", 0)
+    g.add_edge("mC3", "o3", 0)
+    g.add_edge("mC4", "o3", 0)
+    g.add_edge("o3", "o4", 0)
+    g.add_edge("b4", "o4", 0)
+
+    # output scaler
+    g.add_edge("o4", "mO", 1, init=[0.0])
+
+    return g

@@ -1,0 +1,78 @@
+"""Registry of benchmark DFGs plus the paper's Table 1 reference data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.dfg.graph import DFG, Timing
+from repro.suite.diffeq import diffeq
+from repro.suite.elliptic import elliptic
+from repro.suite.lattice import lattice
+from repro.suite.allpole import allpole
+from repro.suite.biquad import biquad
+
+#: the paper's experimental timing: adds/subs/compares 1 CS, multiplies 2 CS
+PAPER_TIMING = Timing({"add": 1, "sub": 1, "cmp": 1, "mul": 2})
+
+#: unit-time timing used by the paper's Figure 2 walkthrough
+UNIT_TIMING = Timing({}, default=1)
+
+
+@dataclass(frozen=True)
+class BenchmarkInfo:
+    """One row of the paper's Table 1."""
+
+    key: str
+    title: str
+    build: Callable[[], DFG]
+    mults: int
+    adds: int
+    critical_path: int
+    iteration_bound: int
+
+
+BENCHMARKS: Dict[str, BenchmarkInfo] = {
+    info.key: info
+    for info in [
+        BenchmarkInfo("elliptic", "5-th Order Elliptic Filter", elliptic, 8, 26, 17, 16),
+        BenchmarkInfo("diffeq", "Differential Equation", diffeq, 6, 5, 7, 6),
+        BenchmarkInfo("lattice", "4-stage Lattice Filter", lattice, 15, 11, 10, 2),
+        BenchmarkInfo("allpole", "All-pole Lattice Filter", allpole, 4, 11, 16, 8),
+        BenchmarkInfo("biquad", "2-cascaded Biquad Filter", biquad, 8, 8, 7, 4),
+    ]
+}
+
+
+def get_benchmark(key: str) -> DFG:
+    """Build a benchmark DFG by registry key."""
+    try:
+        return BENCHMARKS[key].build()
+    except KeyError:
+        raise KeyError(f"unknown benchmark {key!r}; choose from {sorted(BENCHMARKS)}") from None
+
+
+def all_benchmarks() -> List[DFG]:
+    """Fresh instances of all five paper benchmarks, in Table 1 order."""
+    return [info.build() for info in BENCHMARKS.values()]
+
+
+def data_path(key: str) -> str:
+    """Path of the shipped JSON netlist for a benchmark.
+
+    The JSON copies (``repro/suite/data/*.json``) carry the pure structure
+    (no simulation functions) for interchange with external tools; the
+    Python builders remain the source of truth.
+    """
+    import os
+
+    if key not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {key!r}; choose from {sorted(BENCHMARKS)}")
+    return os.path.join(os.path.dirname(__file__), "data", f"{key}.json")
+
+
+def load_benchmark_json(key: str) -> DFG:
+    """Load the shipped JSON copy of a benchmark (structure only)."""
+    from repro.dfg import io as dfg_io
+
+    return dfg_io.load(data_path(key))

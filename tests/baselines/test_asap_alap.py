@@ -1,0 +1,52 @@
+"""Unit tests for ASAP/ALAP scheduling and mobility analysis."""
+
+import pytest
+
+from repro.schedule import ResourceModel
+from repro.baselines import alap_schedule, asap_schedule, mobility_report, usage_profile
+from repro.suite import diffeq, PAPER_TIMING
+from repro.errors import SchedulingError
+
+
+class TestMobility:
+    def test_critical_nodes_have_zero_mobility(self):
+        rep = mobility_report(diffeq(), timing=PAPER_TIMING)
+        assert rep.deadline == 7
+        critical = set(rep.critical_nodes())
+        assert {10, 1, 3, 5, 6} <= critical
+
+    def test_slack_grows_with_deadline(self):
+        tight = mobility_report(diffeq(), timing=PAPER_TIMING)
+        loose = mobility_report(diffeq(), deadline=10, timing=PAPER_TIMING)
+        for v in diffeq().nodes:
+            assert loose.mobility(v) == tight.mobility(v) + 3
+
+    def test_deadline_below_cp_rejected(self):
+        with pytest.raises(SchedulingError, match="below critical path"):
+            mobility_report(diffeq(), deadline=5, timing=PAPER_TIMING)
+
+
+class TestAsapAlap:
+    def test_asap_is_legal_dag_schedule_modulo_resources(self):
+        model = ResourceModel.adders_mults(2, 2)
+        s = asap_schedule(diffeq(), model)
+        assert s.dag_violations() == []
+        assert s.length == 7  # equals CP
+
+    def test_alap_respects_deadline(self):
+        model = ResourceModel.adders_mults(2, 2)
+        s = alap_schedule(diffeq(), model, deadline=9)
+        assert s.dag_violations() == []
+        assert s.last_cs <= 8
+
+    def test_alap_default_deadline(self):
+        model = ResourceModel.adders_mults(2, 2)
+        s = alap_schedule(diffeq(), model)
+        assert s.length == 7
+
+    def test_usage_profile(self):
+        model = ResourceModel.adders_mults(2, 2)
+        peak = usage_profile(asap_schedule(diffeq(), model))
+        # ASAP fires all mult roots together (4 of them, gated by node 10)
+        assert peak["mult"] >= 3
+        assert peak["adder"] >= 1

@@ -1,0 +1,27 @@
+"""Unit tests for the non-pipelined DAG list-scheduling baseline."""
+
+from repro.schedule import ResourceModel
+from repro.baselines import dag_list_schedule
+from repro.core import rotation_schedule
+from repro.suite import all_benchmarks, diffeq
+
+
+class TestDagList:
+    def test_diffeq_matches_figure_2a(self):
+        res = dag_list_schedule(diffeq(), ResourceModel.unit_time(1, 1))
+        assert res.length == 8
+        assert res.depth == 1
+        assert len(res.retiming) == 0
+
+    def test_schedule_is_legal(self):
+        for g in all_benchmarks():
+            res = dag_list_schedule(g, ResourceModel.adders_mults(2, 2))
+            assert res.schedule.is_legal_dag_schedule(), g.name
+
+    def test_rotation_never_worse_than_baseline(self):
+        """RS starts from this baseline, so it can only improve."""
+        model = ResourceModel.adders_mults(2, 2)
+        for g in all_benchmarks():
+            base = dag_list_schedule(g, model)
+            rs = rotation_schedule(g, model, beta=16)
+            assert rs.length <= base.length, g.name

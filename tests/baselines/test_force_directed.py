@@ -1,0 +1,49 @@
+"""Unit tests for the force-directed scheduling baseline."""
+
+import pytest
+
+from repro.schedule import ResourceModel
+from repro.baselines import asap_schedule, force_directed_schedule, usage_profile
+from repro.suite import diffeq, biquad
+from repro.errors import SchedulingError
+
+
+class TestForceDirected:
+    def test_meets_deadline_and_precedence(self):
+        model = ResourceModel.adders_mults(2, 2)
+        res = force_directed_schedule(diffeq(), model, deadline=8)
+        assert res.schedule.dag_violations() == []
+        assert res.schedule.last_cs <= 7
+        assert res.deadline == 8
+
+    def test_balances_better_than_asap(self):
+        """FDS's whole point: lower peak usage than ASAP at the same
+        deadline (here on the multiplier-heavy diffeq graph)."""
+        model = ResourceModel.adders_mults(2, 2)
+        deadline = 9
+        asap_peak = usage_profile(asap_schedule(diffeq(), model))
+        fds = force_directed_schedule(diffeq(), model, deadline=deadline)
+        assert fds.peak_usage["mult"] <= asap_peak["mult"]
+
+    def test_default_deadline_is_cp(self):
+        model = ResourceModel.adders_mults(2, 2)
+        res = force_directed_schedule(diffeq(), model)
+        assert res.deadline == 7
+        assert res.length <= 8  # CP with 2-cycle tail
+
+    def test_deadline_below_cp_rejected(self):
+        model = ResourceModel.adders_mults(2, 2)
+        with pytest.raises(SchedulingError):
+            force_directed_schedule(diffeq(), model, deadline=3)
+
+    def test_deterministic(self):
+        model = ResourceModel.adders_mults(2, 2)
+        a = force_directed_schedule(biquad(), model, deadline=9)
+        b = force_directed_schedule(biquad(), model, deadline=9)
+        assert a.schedule.start_map == b.schedule.start_map
+
+    def test_looser_deadline_lowers_peak(self):
+        model = ResourceModel.adders_mults(2, 2)
+        tight = force_directed_schedule(diffeq(), model, deadline=7)
+        loose = force_directed_schedule(diffeq(), model, deadline=13)
+        assert loose.peak_usage["mult"] <= tight.peak_usage["mult"]

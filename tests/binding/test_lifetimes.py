@@ -1,0 +1,78 @@
+"""Unit tests for value lifetime analysis."""
+
+import pytest
+
+from repro.dfg import DFG, Retiming
+from repro.schedule import ResourceModel, Schedule
+from repro.core import rotation_schedule
+from repro.binding import LifetimeAnalyzer, register_requirement
+from repro.suite import diffeq
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def two_node():
+    """p -> c with one delay: the value lives one full period."""
+    g = DFG("ln")
+    g.add_node("p", "add")
+    g.add_node("c", "add")
+    g.add_edge("p", "c", 1)
+    g.add_edge("c", "p", 1)
+    return g
+
+
+class TestLifetimes:
+    def test_cross_iteration_lifetime(self, two_node):
+        model = ResourceModel.adders_mults(2, 1)
+        sched = Schedule(two_node, model, {"p": 0, "c": 1})
+        an = LifetimeAnalyzer(sched, Retiming.zero())
+        lt = an.lifetime("p", 3, horizon=10)
+        # produced at finish of iteration 3, consumed by c at iteration 4
+        assert lt.birth == 3 * 2 + 1
+        assert lt.death == 4 * 2 + 1
+        assert lt.span == 2
+
+    def test_sink_value_zero_span(self, two_node):
+        two_node.add_node("sink", "add")
+        two_node.add_edge("p", "sink", 0)
+        model = ResourceModel.adders_mults(2, 1)
+        sched = Schedule(two_node, model, {"p": 0, "c": 1, "sink": 1})
+        an = LifetimeAnalyzer(sched, Retiming.zero())
+        lt = an.lifetime("sink", 2, horizon=10)
+        assert lt.span == 0
+
+    def test_requirement_profile_periodicity(self, two_node):
+        model = ResourceModel.adders_mults(2, 1)
+        sched = Schedule(two_node, model, {"p": 0, "c": 1})
+        report = LifetimeAnalyzer(sched, Retiming.zero()).analyze()
+        assert report.period == 2
+        assert len(report.profile) == 2
+        assert report.requirement == max(report.profile)
+
+    def test_diffeq_requirement_reasonable(self):
+        """The pipelined diffeq loop needs at least its loop-carried state
+        (x, u, y + in-flight temporaries) and no more than one register
+        per node."""
+        res = rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1))
+        need = register_requirement(res.schedule, res.retiming, res.length)
+        assert 3 <= need <= res.graph.num_nodes
+
+    def test_deeper_pipelines_hold_more_values(self):
+        """Pipelining trades registers for speed: at equal resources, the
+        pipelined schedule needs at least as many registers as the
+        sequential one minus boundary effects (sanity: both positive)."""
+        from repro.baselines import dag_list_schedule
+        from repro.dfg import Retiming as R
+
+        model = ResourceModel.unit_time(1, 1)
+        base = dag_list_schedule(diffeq(), model)
+        seq_need = register_requirement(base.schedule, R.zero())
+        res = rotation_schedule(diffeq(), model)
+        pipe_need = register_requirement(res.schedule, res.retiming, res.length)
+        assert seq_need >= 1 and pipe_need >= 1
+
+    def test_nonpositive_period_rejected(self, two_node):
+        model = ResourceModel.adders_mults(2, 1)
+        sched = Schedule(two_node, model, {"p": 0, "c": 1})
+        with pytest.raises(SchedulingError):
+            LifetimeAnalyzer(sched, Retiming.zero(), period=0)

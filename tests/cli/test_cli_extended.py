@@ -1,0 +1,62 @@
+"""Unit tests for the extended CLI commands (exact/emit/svg/unfold)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestExact:
+    def test_proves_diffeq(self, capsys):
+        assert main(["exact", "diffeq", "-r", "1A2M"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal II = 6" in out and "proven" in out
+
+    def test_step_limit_flag(self):
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            main(["exact", "allpole", "-r", "2A1M", "--step-limit", "100"])
+
+
+class TestEmit:
+    def test_writes_verilog(self, tmp_path, capsys):
+        out_path = str(tmp_path / "dp.v")
+        assert main(["emit", "diffeq", "-r", "1A1Mp", "-o", out_path, "--beta", "8"]) == 0
+        text = open(out_path).read()
+        assert "module diffeq" in text
+        assert "endmodule" in text
+        assert "II 6" in capsys.readouterr().out
+
+    def test_custom_module_and_width(self, tmp_path):
+        out_path = str(tmp_path / "dp.v")
+        main([
+            "emit", "biquad", "-r", "2A3M", "-o", out_path,
+            "--module", "my_core", "--width", "24", "--beta", "8",
+        ])
+        text = open(out_path).read()
+        assert "module my_core" in text
+        assert "WIDTH = 24" in text
+
+
+class TestSvg:
+    def test_writes_svg(self, tmp_path, capsys):
+        out_path = str(tmp_path / "s.svg")
+        assert main(["svg", "biquad", "-r", "2A3M", "-o", out_path, "--beta", "8"]) == 0
+        text = open(out_path).read()
+        assert text.startswith("<svg")
+        assert "</svg>" in text
+
+
+class TestUnfold:
+    def test_round_trips_through_inspect(self, tmp_path, capsys):
+        out_path = str(tmp_path / "u.json")
+        assert main(["unfold", "biquad", "-f", "3", "-o", out_path]) == 0
+        assert main(["inspect", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "48" in out  # 3 x 16 nodes
+
+    def test_factor_preserves_delays(self, tmp_path, capsys):
+        out_path = str(tmp_path / "u.json")
+        main(["unfold", "diffeq", "-f", "2", "-o", out_path])
+        out = capsys.readouterr().out
+        assert "22 nodes" in out

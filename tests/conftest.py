@@ -1,0 +1,70 @@
+"""Shared fixtures: small hand-built graphs and common resource models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg import DFG, Timing
+from repro.schedule import ResourceModel
+
+
+@pytest.fixture
+def tiny_loop() -> DFG:
+    """a -> m -> a with one delay on the back edge (ratio 3 with mul=2)."""
+    g = DFG("tiny")
+    g.add_node("a", "add", func=lambda x: x + 1.0)
+    g.add_node("m", "mul", func=lambda x: 0.5 * x)
+    g.add_edge("a", "m", 0)
+    g.add_edge("m", "a", 1, init=[1.0])
+    return g
+
+
+@pytest.fixture
+def diamond() -> DFG:
+    """Acyclic diamond: r -> {x, y} -> s."""
+    g = DFG("diamond")
+    for n, op in [("r", "add"), ("x", "mul"), ("y", "add"), ("s", "add")]:
+        g.add_node(n, op)
+    g.add_edge("r", "x", 0)
+    g.add_edge("r", "y", 0)
+    g.add_edge("x", "s", 0)
+    g.add_edge("y", "s", 0)
+    return g
+
+
+@pytest.fixture
+def two_cycle() -> DFG:
+    """Two coupled cycles with distinct ratios (for iteration-bound tests).
+
+    Cycle 1: a1 -> m1 -> a1 (1 delay): t = 3, ratio 3.
+    Cycle 2: a1 -> a2 -> a1 (2 delays on the back edge): t = 2, ratio 1.
+    """
+    g = DFG("two_cycle")
+    g.add_node("a1", "add")
+    g.add_node("m1", "mul")
+    g.add_node("a2", "add")
+    g.add_edge("a1", "m1", 0)
+    g.add_edge("m1", "a1", 1)
+    g.add_edge("a1", "a2", 0)
+    g.add_edge("a2", "a1", 2)
+    return g
+
+
+@pytest.fixture
+def paper_timing() -> Timing:
+    return Timing({"add": 1, "sub": 1, "cmp": 1, "mul": 2})
+
+
+@pytest.fixture
+def unit_model() -> ResourceModel:
+    return ResourceModel.unit_time(1, 1)
+
+
+@pytest.fixture
+def small_model() -> ResourceModel:
+    return ResourceModel.adders_mults(2, 1)
+
+
+@pytest.fixture
+def pipelined_model() -> ResourceModel:
+    return ResourceModel.adders_mults(2, 1, pipelined_mults=True)

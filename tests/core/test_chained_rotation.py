@@ -1,0 +1,65 @@
+"""Unit tests for rotation over chained schedules (Section 3's claim)."""
+
+import pytest
+
+from repro.schedule.chaining import paper_technology
+from repro.core.chained_rotation import ChainedRotationState, chained_rotation_schedule
+from repro.suite import diffeq
+from repro.errors import RotationError
+
+
+@pytest.fixture
+def tech50():
+    return paper_technology(50)
+
+
+class TestChainedRotation:
+    def test_reproduces_integral_behaviour_at_50ns(self, tech50):
+        """At the paper's 50 ns clock the chained engine mirrors the
+        integral 1A 1M result: 14 CS initially, 12 after rotations."""
+        timing, cs, units, binding = tech50
+        state, best = chained_rotation_schedule(diffeq(), timing, cs, units, binding)
+        assert best == 12
+        assert state.schedule.violations(state.retiming) == []
+
+    def test_rotation_improves_at_100ns(self, tech50):
+        timing, _, units, binding = tech50
+        initial = ChainedRotationState.initial(diffeq(), timing, 100, units, binding)
+        state, best = chained_rotation_schedule(diffeq(), timing, 100, units, binding)
+        assert best <= initial.length
+        assert state.schedule.violations(state.retiming) == []
+
+    def test_each_rotation_preserves_legality(self, tech50):
+        timing, cs, units, binding = tech50
+        state = ChainedRotationState.initial(diffeq(), timing, cs, units, binding)
+        for _ in range(6):
+            state = state.down_rotate(1)
+            assert state.schedule.violations(state.retiming) == [], state.retiming
+
+    def test_retiming_accumulates(self, tech50):
+        timing, cs, units, binding = tech50
+        state = ChainedRotationState.initial(diffeq(), timing, cs, units, binding)
+        state = state.down_rotate(1)
+        assert sum(k for _, k in state.retiming.items_nonzero()) >= 1
+
+    def test_frozen_nodes_keep_placement(self, tech50):
+        timing, cs, units, binding = tech50
+        state = ChainedRotationState.initial(diffeq(), timing, cs, units, binding)
+        first = state.schedule.first_cs
+        moved = {v for v in state.graph.nodes if state.schedule.entry(v).cs == first}
+        rotated = state.down_rotate(1)
+        for v in state.graph.nodes:
+            if v not in moved:
+                assert (
+                    rotated.schedule.entry(v).cs
+                    == state.schedule.entry(v).cs - first - 1
+                )
+                assert rotated.schedule.entry(v).offset == state.schedule.entry(v).offset
+
+    def test_size_bounds(self, tech50):
+        timing, cs, units, binding = tech50
+        state = ChainedRotationState.initial(diffeq(), timing, cs, units, binding)
+        with pytest.raises(RotationError):
+            state.down_rotate(0)
+        with pytest.raises(RotationError):
+            state.down_rotate(state.length)

@@ -1,0 +1,50 @@
+"""Unit tests for pipeline-depth reduction (Section 3.2 / Figure 5)."""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel
+from repro.core import RotationState, minimal_depth, pipeline_depth, reduce_depth, wrap
+from repro.suite import diffeq
+
+
+class TestDepthReduction:
+    def test_figure_5_depth_4_to_2(self):
+        """7 rotations of size 2 pile up a deep rotation function; the
+        shortest-path retiming realizes the same schedule with depth 2."""
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        for _ in range(7):
+            size = min(2, st.length - 1)
+            st = st.down_rotate(size)
+        assert st.length == 6  # the optimal period (Figure 5-(a))
+        accumulated = st.retiming.normalized(st.graph)
+        assert accumulated.depth(st.graph) > 2  # R is deep
+        shallow = reduce_depth(st.schedule)
+        assert shallow.depth(st.graph) == 2  # r is shallow (Figure 5-(b))
+
+    def test_reduced_retiming_realizes_schedule(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        for _ in range(7):
+            st = st.down_rotate(min(2, st.length - 1))
+        shallow = reduce_depth(st.schedule)
+        assert st.schedule.is_legal_dag_schedule(shallow)
+        assert shallow.is_legal(st.graph)
+
+    def test_minimality_vs_accumulated(self):
+        """The reduced depth never exceeds the accumulated one."""
+        st = RotationState.initial(diffeq(), ResourceModel.adders_mults(1, 2))
+        for size in (1, 2, 1, 3, 1, 1):
+            if size < st.length:
+                st = st.down_rotate(size)
+        w = wrap(st.schedule, st.retiming)
+        shallow = reduce_depth(w.schedule, w.period)
+        assert shallow.depth(st.graph) <= st.retiming.normalized(st.graph).depth(st.graph)
+
+    def test_unrotated_schedule_depth_1(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        assert minimal_depth(st.schedule) == 1
+
+    def test_pipeline_depth_helper(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        r = Retiming.of_set([10])
+        assert pipeline_depth(st.schedule, r) == 2

@@ -1,0 +1,137 @@
+"""Unit tests for the rotation transformation (Section 3.1)."""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, realizing_retiming, unroll
+from repro.core import RotationState
+from repro.suite import diffeq, biquad
+from repro.errors import RotationError
+
+
+@pytest.fixture
+def initial():
+    return RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+
+
+class TestDownRotate:
+    def test_figure_2_sequence(self, initial):
+        """Figure 2: 8 -> 7 -> 6 with the paper's exact placements."""
+        assert initial.length == 8
+        st1 = initial.down_rotate(1)
+        assert st1.length == 7
+        assert st1.retiming.as_dict() == {10: 1}
+        st2 = st1.down_rotate(1)
+        assert st2.length == 6
+        assert dict(st2.retiming.items_nonzero()) == {10: 1, 8: 1, 1: 1}
+        assert st2.schedule.normalized().start_map == {
+            0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5,
+        }
+
+    def test_rotation_records_trace(self, initial):
+        st = initial.down_rotate(1).down_rotate(1)
+        assert len(st.trace) == 2
+        step = st.trace[0]
+        assert step.direction == "down" and step.size == 1
+        assert step.rotated == (10,)
+        assert (step.length_before, step.length_after) == (8, 7)
+
+    def test_state_is_immutable(self, initial):
+        st1 = initial.down_rotate(1)
+        assert initial.length == 8
+        assert initial.retiming == Retiming.zero()
+        assert st1 is not initial
+
+    def test_schedule_stays_legal_dag_schedule(self, initial):
+        st = initial
+        for _ in range(10):
+            st = st.down_rotate(1)
+            assert st.schedule.is_legal_dag_schedule(st.retiming), st.trace[-1]
+
+    def test_rotation_preserves_global_semantics(self, initial):
+        """After any rotation the unrolled timeline still respects every
+        original dependence — rotation IS legal retiming."""
+        st = initial.down_rotate(2).down_rotate(1).down_rotate(3)
+        r = st.retiming.normalized(st.graph)
+        u = unroll(st.schedule.normalized(), r, iterations=r.depth(st.graph) + 4)
+        assert u.dependence_violations() == []
+        assert u.resource_violations() == []
+
+    def test_size_bounds(self, initial):
+        with pytest.raises(RotationError, match=">= 1"):
+            initial.down_rotate(0)
+        with pytest.raises(RotationError, match="illegal"):
+            initial.down_rotate(initial.length)
+
+    def test_rotated_prefix_selection(self, initial):
+        assert initial.rotated_prefix(1) == [10]
+        assert set(initial.rotated_prefix(2)) == {10, 1, 8}
+
+    def test_large_rotation(self, initial):
+        st = initial.down_rotate(initial.length - 1)
+        assert st.schedule.is_legal_dag_schedule(st.retiming)
+        # everything but the last control step rotated
+        assert len(st.trace[0].rotated) == 10
+
+    def test_never_lengthens_with_unit_ops(self, initial):
+        """With single-cycle operations a rotation never lengthens the
+        schedule (the shifted remainder is already a valid placement)."""
+        st = initial
+        for _ in range(12):
+            new = st.down_rotate(1)
+            assert new.length <= st.length
+            st = new
+
+
+class TestUpRotate:
+    def test_up_is_inverse_direction(self):
+        st = RotationState.initial(biquad(), ResourceModel.adders_mults(2, 2))
+        down = st.down_rotate(1)
+        assert all(k >= 0 for _, k in down.retiming.items_nonzero())
+        up = down.up_rotate(1)
+        assert up.schedule.is_legal_dag_schedule(up.retiming.normalized(up.graph))
+
+    def test_up_rotate_suffix_moves_to_front(self):
+        st = RotationState.initial(biquad(), ResourceModel.adders_mults(2, 2))
+        last = st.schedule.normalized().last_cs
+        suffix = st.schedule.nodes_starting_in(last, last)
+        up = st.up_rotate(1)
+        for v in suffix:
+            assert up.retiming[v] == -1
+
+    def test_up_rotate_size_bounds(self):
+        st = RotationState.initial(biquad(), ResourceModel.adders_mults(2, 2))
+        with pytest.raises(RotationError):
+            st.up_rotate(0)
+        with pytest.raises(RotationError):
+            st.up_rotate(st.length + 1)
+
+    def test_up_then_semantics_hold(self):
+        st = RotationState.initial(biquad(), ResourceModel.adders_mults(2, 2))
+        up = st.up_rotate(1)
+        r = up.retiming.normalized(up.graph)
+        u = unroll(up.schedule.normalized(), r, iterations=r.depth(up.graph) + 4)
+        assert u.dependence_violations() == []
+
+
+class TestInitialState:
+    def test_initial_from_retiming(self):
+        g = diffeq()
+        model = ResourceModel.unit_time(1, 1)
+        r = Retiming.of_set([10, 8, 1])
+        st = RotationState.initial(g, model, retiming=r)
+        assert st.retiming == r
+        assert st.schedule.is_legal_dag_schedule(r)
+        assert st.length == 6  # Figure 3-(b)'s DAG admits the optimum
+
+    def test_multicycle_rotation_can_lengthen(self):
+        """Section 4: with 2-cycle multipliers a rotation may lengthen the
+        (unwrapped) schedule — exactly Figure 6's phenomenon."""
+        g = diffeq()
+        st = RotationState.initial(g, ResourceModel.adders_mults(1, 1))
+        lengths = [st.length]
+        for _ in range(8):
+            st = st.down_rotate(1)
+            lengths.append(st.length)
+        assert max(lengths) >= lengths[0]  # growth happens along the way
+        assert st.schedule.is_legal_dag_schedule(st.retiming)

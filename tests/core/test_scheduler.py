@@ -1,0 +1,56 @@
+"""Unit tests for the high-level RotationScheduler facade."""
+
+import pytest
+
+from repro.schedule import ResourceModel
+from repro.core import RotationScheduler, rotation_schedule
+from repro.suite import diffeq, biquad
+from repro.errors import SchedulingError
+
+
+class TestRotationScheduler:
+    def test_result_fields(self):
+        model = ResourceModel.unit_time(1, 1)
+        res = rotation_schedule(diffeq(), model)
+        assert res.length == 6
+        assert res.initial_length == 8
+        assert res.improvement == 2
+        assert res.depth == 2
+        assert res.optimal_count >= 1
+        assert res.elapsed_seconds > 0
+        assert res.model is model
+
+    def test_final_schedule_is_modulo_legal(self):
+        res = rotation_schedule(diffeq(), ResourceModel.adders_mults(1, 1))
+        assert res.wrapped.violations() == []
+        assert res.retiming.is_legal(res.graph)
+
+    def test_alternates_are_also_optimal(self):
+        res = rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1))
+        for alt in res.alternates:
+            assert alt.period == res.length
+            assert alt.violations() == []
+
+    def test_depth_is_min_over_ties(self):
+        res = rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1))
+        for alt in res.alternates:
+            assert res.depth <= alt.depth
+
+    def test_unknown_heuristic_rejected(self):
+        with pytest.raises(SchedulingError, match="unknown heuristic"):
+            RotationScheduler(ResourceModel.unit_time(1, 1), heuristic="h3")
+
+    def test_summary_and_render(self):
+        res = rotation_schedule(biquad(), ResourceModel.adders_mults(2, 4), beta=8)
+        text = res.summary()
+        assert "biquad" in text and "->" in text
+        table = res.render()
+        assert "CS" in table and "Mult" in table
+
+    def test_h1_also_works_through_facade(self):
+        res = rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1), heuristic="h1")
+        assert res.length == 6
+
+    def test_beta_and_sigma_forwarded(self):
+        res = rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1), beta=2, sigma=1)
+        assert res.rotations_performed <= 2 * (res.initial_length + 2)

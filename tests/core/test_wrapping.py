@@ -1,0 +1,121 @@
+"""Unit tests for schedule wrapping and cylinder re-rooting (Section 4)."""
+
+import pytest
+
+from repro.dfg import DFG, Retiming
+from repro.schedule import ResourceModel, Schedule
+from repro.core import RotationState, reroot, unwrap_if_possible, wrap, wrapped_length
+from repro.suite import diffeq
+from repro.errors import SchedulingError
+
+
+class TestWrap:
+    def test_single_cycle_schedule_wraps_to_span(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        w = wrap(st.schedule, st.retiming)
+        assert w.period == st.length
+        assert w.wrapped_nodes() == []
+
+    def test_trailing_mult_tail_wraps(self):
+        """A 2-cycle multiplier starting in the last CS wraps (Figure 8)."""
+        g = DFG()
+        g.add_node("a", "add")
+        g.add_node("m", "mul")
+        g.add_edge("a", "m", 0)
+        g.add_edge("m", "a", 2)
+        model = ResourceModel.adders_mults(1, 1)
+        s = Schedule(g, model, {"a": 0, "m": 1})  # span 3: m occupies 1,2
+        w = wrap(s, Retiming.zero())
+        assert w.period == 2
+        assert w.wrapped_nodes() == ["m"]
+        assert w.violations() == []
+
+    def test_wrap_blocked_by_resources(self):
+        """Wrapping needs a spare unit in the target CS (paper's first
+        condition)."""
+        g = DFG()
+        g.add_node("m1", "mul")
+        g.add_node("m2", "mul")
+        model = ResourceModel.adders_mults(1, 1)
+        s = Schedule(g, model, {"m1": 0, "m2": 2})  # span 4
+        w = wrap(s, Retiming.zero())
+        # m2's tail cannot share CS 0-1 with m1 on a single multiplier
+        assert w.period == 4
+
+    def test_wrap_blocked_by_precedence(self):
+        """The wrapped node's outgoing 1-delay edge becomes a new zero-delay
+        constraint (paper's second condition)."""
+        g = DFG()
+        g.add_node("m", "mul")
+        g.add_node("a", "add")
+        g.add_edge("m", "a", 1)  # consumer in the NEXT iteration
+        g.add_edge("a", "m", 1)
+        model = ResourceModel.adders_mults(1, 1)
+        s = Schedule(g, model, {"a": 0, "m": 1})
+        w = wrap(s, Retiming.zero())
+        # period 2 would need m's result (finish 3) by a's next start 0+2*1=2
+        assert w.period == 3
+
+    def test_diffeq_multicycle_wraps_to_6(self):
+        """Section 4's running example: after 8 rotations of size 1 with the
+        two-stage multiplier, the wrapped schedule has length 6.  (The unit
+        must be the pipelined multiplier: six multiplications can never fit
+        6 CS on one non-pipelined 2-cycle unit — Table 3 gives 12 there.)"""
+        st = RotationState.initial(
+            diffeq(), ResourceModel.adders_mults(1, 1, pipelined_mults=True)
+        )
+        for _ in range(8):
+            st = st.down_rotate(1)
+        assert wrapped_length(st.schedule, st.retiming) == 6
+        assert st.length > 6  # the unwrapped span still carries tails
+
+    def test_wrapped_length_shortcut(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        assert wrapped_length(st.schedule, st.retiming) == wrap(st.schedule, st.retiming).period
+
+
+class TestReroot:
+    @pytest.fixture
+    def wrapped_example(self):
+        g = DFG()
+        g.add_node("a", "add")
+        g.add_node("m", "mul")
+        g.add_edge("a", "m", 0)
+        g.add_edge("m", "a", 2)
+        model = ResourceModel.adders_mults(1, 1)
+        return wrap(Schedule(g, model, {"a": 0, "m": 1}), Retiming.zero())
+
+    def test_reroot_preserves_period_and_legality(self, wrapped_example):
+        out = reroot(wrapped_example, 1)
+        assert out.period == wrapped_example.period
+        assert out.violations() == []
+
+    def test_reroot_bumps_rotation_of_moved_nodes(self, wrapped_example):
+        out = reroot(wrapped_example, 1)
+        # node 'a' (start 0 < pivot 1) moved to the end: one more rotation
+        assert out.schedule.start("a") == 1
+        assert out.schedule.start("m") == 0
+        # normalized retimings: relative rotation of a increased
+        assert out.retiming["a"] - out.retiming["m"] == (
+            wrapped_example.retiming["a"] - wrapped_example.retiming["m"] + 1
+        )
+
+    def test_reroot_identity(self, wrapped_example):
+        assert reroot(wrapped_example, 0) is wrapped_example
+
+    def test_reroot_bad_pivot(self, wrapped_example):
+        with pytest.raises(SchedulingError, match="pivot"):
+            reroot(wrapped_example, wrapped_example.period)
+
+    def test_unwrap_if_possible(self, wrapped_example):
+        """Paper: 'a wrapped schedule can be easily rotated to be an
+        unwrapped one' by choosing another first control step."""
+        assert wrapped_example.wrapped_nodes() == ["m"]
+        out = unwrap_if_possible(wrapped_example)
+        assert out.wrapped_nodes() == []
+        assert out.period == wrapped_example.period
+
+    def test_unwrap_noop_when_not_wrapped(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        w = wrap(st.schedule, st.retiming)
+        assert unwrap_if_possible(w) is w

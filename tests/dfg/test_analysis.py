@@ -1,0 +1,144 @@
+"""Unit tests for DAG extraction, critical path and rotatable sets."""
+
+import pytest
+
+from repro.dfg import (
+    DFG,
+    Retiming,
+    Timing,
+    asap_times,
+    alap_times,
+    critical_path_length,
+    critical_path_nodes,
+    descendant_counts,
+    height_times,
+    is_down_rotatable,
+    is_up_rotatable,
+    is_zero_delay_acyclic,
+    leaves,
+    roots,
+    topological_order,
+    zero_delay_edges,
+)
+from repro.suite import diffeq
+from repro.errors import ZeroDelayCycleError
+
+
+class TestTopologicalOrder:
+    def test_respects_zero_delay_edges(self, two_cycle):
+        order = topological_order(two_cycle)
+        assert order.index("a1") < order.index("m1")
+        assert order.index("a1") < order.index("a2")
+
+    def test_delayed_edges_ignored(self, tiny_loop):
+        # m -> a has a delay, so 'a' may precede 'm'
+        assert topological_order(tiny_loop) == ["a", "m"]
+
+    def test_zero_delay_cycle_raises_with_witness(self):
+        g = DFG()
+        for n in "ab":
+            g.add_node(n)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        with pytest.raises(ZeroDelayCycleError) as info:
+            topological_order(g)
+        assert set(info.value.cycle) == {"a", "b"}
+
+    def test_retimed_order_changes(self, diamond):
+        g = diamond
+        g.add_edge("s", "r", 1)  # close the loop
+        r = Retiming.of_set(["r"])  # rotate the root down
+        order = topological_order(g, r)
+        assert order.index("r") > order.index("s")
+
+    def test_acyclicity_predicate(self, two_cycle):
+        assert is_zero_delay_acyclic(two_cycle)
+        two_cycle.add_edge("m1", "a1", 0)
+        assert not is_zero_delay_acyclic(two_cycle)
+
+
+class TestCriticalPath:
+    def test_diamond_cp(self, diamond, paper_timing):
+        # r(1) -> x(2) -> s(1) is the longest path
+        assert critical_path_length(diamond, paper_timing) == 4
+        assert critical_path_nodes(diamond, paper_timing) == ["r", "x", "s"]
+
+    def test_unit_time_cp(self, diamond):
+        assert critical_path_length(diamond, Timing.unit()) == 3
+
+    def test_cp_of_retimed_graph(self, tiny_loop, paper_timing):
+        # original: a(1) -> m(2) zero-delay: CP 3
+        assert critical_path_length(tiny_loop, paper_timing) == 3
+        # the single delay only moves around the 2-cycle: the zero-delay
+        # chain flips direction (m -> a) but its length stays 3 = IB
+        r = Retiming.of_set(["a"])
+        assert critical_path_length(tiny_loop, paper_timing, r) == 3
+
+    def test_empty_graph(self):
+        assert critical_path_length(DFG()) == 0
+        assert critical_path_nodes(DFG()) == []
+
+    def test_asap_alap_consistency(self, diamond, paper_timing):
+        asap = asap_times(diamond, paper_timing)
+        cp = critical_path_length(diamond, paper_timing)
+        alap = alap_times(diamond, cp, paper_timing)
+        for v in diamond.nodes:
+            assert asap[v] <= alap[v]
+        # critical nodes have zero slack
+        assert alap["x"] == asap["x"]
+
+
+class TestWeights:
+    def test_descendant_counts_diffeq(self):
+        g = diffeq()
+        counts = descendant_counts(g)
+        # node 10 gates the whole body: all other 10 nodes are descendants
+        assert counts[10] == 10
+        assert counts[8] == 0  # x1 only feeds delayed edges
+        assert counts[1] == 3  # {3, 5, 6}
+
+    def test_height_times(self, diamond, paper_timing):
+        h = height_times(diamond, paper_timing)
+        assert h["s"] == 1
+        assert h["x"] == 3  # x(2) + s(1)
+        assert h["r"] == 4
+
+    def test_roots_and_leaves(self, two_cycle):
+        assert roots(two_cycle) == ["a1"]
+        assert set(leaves(two_cycle)) == {"m1", "a2"}
+
+
+class TestRotatableSets:
+    def test_paper_examples(self):
+        """Section 2: {10} and {10, 8, 1} rotatable; {8,1},{1},{8} not."""
+        g = diffeq()
+        assert is_down_rotatable(g, [10])
+        assert is_down_rotatable(g, [10, 8, 1])
+        assert not is_down_rotatable(g, [8, 1])
+        assert not is_down_rotatable(g, [1])
+        assert not is_down_rotatable(g, [8])
+
+    def test_rotatable_iff_indicator_legal(self):
+        g = diffeq()
+        for nodes in ([10], [10, 8, 1], [8, 1], [1], [8]):
+            indicator = Retiming.of_set(nodes)
+            assert is_down_rotatable(g, nodes) == indicator.is_legal(g)
+
+    def test_under_accumulated_retiming(self):
+        g = diffeq()
+        r = Retiming.of_set([10])
+        # after rotating 10, the set {8, 1} becomes rotatable (Figure 3)
+        assert is_down_rotatable(g, [8, 1], r)
+
+    def test_up_rotatable_mirror(self, tiny_loop):
+        # m's only outgoing edge carries a delay -> up-rotatable
+        assert is_up_rotatable(tiny_loop, ["m"])
+        assert not is_up_rotatable(tiny_loop, ["a"])
+
+    def test_whole_graph_always_rotatable(self, two_cycle):
+        assert is_down_rotatable(two_cycle, two_cycle.nodes)
+        assert is_up_rotatable(two_cycle, two_cycle.nodes)
+
+    def test_zero_delay_edges_listing(self, two_cycle):
+        zd = zero_delay_edges(two_cycle)
+        assert {(e.src, e.dst) for e in zd} == {("a1", "m1"), ("a1", "a2")}

@@ -1,0 +1,66 @@
+"""Unit tests for the fluent DFG builder."""
+
+import pytest
+
+from repro.dfg import DFGBuilder
+from repro.errors import GraphError
+
+
+class TestBuilder:
+    def test_basic_chain(self):
+        g = (
+            DFGBuilder("t", default_op="add")
+            .node("m", "mul")
+            .chain("m", "a", "b")
+            .build()
+        )
+        assert g.num_nodes == 3
+        assert g.op("a") == "add"
+        assert g.has_edge("m", "a") and g.has_edge("a", "b")
+
+    def test_chain_delay_on_last_link(self):
+        g = DFGBuilder(default_op="add").chain("a", "b", "c", delay=2).build()
+        delays = {(e.src, e.dst): e.delay for e in g.edges}
+        assert delays == {("a", "b"): 0, ("b", "c"): 2}
+
+    def test_chain_too_short(self):
+        with pytest.raises(GraphError, match="at least two"):
+            DFGBuilder().chain("a")
+
+    def test_wire_auto_declares(self):
+        g = DFGBuilder(default_op="sub").wire("x", "y", delay=1).build()
+        assert g.op("x") == "sub"
+        assert g.edges[0].delay == 1
+
+    def test_fan_in_fan_out(self):
+        b = DFGBuilder(default_op="add")
+        b.fan_in(["a", "b", "c"], "sum")
+        b.fan_out("sum", ["p", "q"], delay=1)
+        g = b.build()
+        assert len(g.in_edges("sum")) == 3
+        assert len(g.out_edges("sum")) == 2
+        assert all(e.delay == 1 for e in g.out_edges("sum"))
+
+    def test_nodes_bulk_declaration(self):
+        g = DFGBuilder().nodes(["a", "b"], "mul").build()
+        assert g.op("a") == "mul" and g.op("b") == "mul"
+
+    def test_build_finalizes(self):
+        b = DFGBuilder()
+        b.node("a")
+        b.build()
+        with pytest.raises(GraphError, match="finalized"):
+            b.node("b")
+        with pytest.raises(GraphError, match="finalized"):
+            b.build()
+
+    def test_wire_with_init(self):
+        b = DFGBuilder(default_op="add")
+        b.wire("a", "b", delay=2, init=[1.0, 2.0])
+        g = b.build()
+        assert g.edge_init(g.edges[0]) == (1.0, 2.0)
+
+    def test_graph_peek(self):
+        b = DFGBuilder()
+        b.node("a")
+        assert "a" in b.graph

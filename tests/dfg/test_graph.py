@@ -1,0 +1,188 @@
+"""Unit tests for the DFG data structure."""
+
+import pytest
+
+from repro.dfg import DFG, Timing
+from repro.errors import GraphError
+
+
+class TestConstruction:
+    def test_add_nodes_and_edges(self):
+        g = DFG("g")
+        g.add_node("a", "add")
+        g.add_node("b", "mul")
+        e = g.add_edge("a", "b", 2)
+        assert g.num_nodes == 2
+        assert g.num_edges == 1
+        assert e.delay == 2
+        assert e.src == "a" and e.dst == "b"
+
+    def test_duplicate_node_rejected(self):
+        g = DFG()
+        g.add_node("a")
+        with pytest.raises(GraphError, match="duplicate"):
+            g.add_node("a")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = DFG()
+        g.add_node("a")
+        with pytest.raises(GraphError, match="unknown node"):
+            g.add_edge("a", "ghost")
+
+    def test_negative_delay_rejected(self):
+        g = DFG()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(GraphError, match="negative delay"):
+            g.add_edge("a", "b", -1)
+
+    def test_nonpositive_time_rejected(self):
+        g = DFG()
+        with pytest.raises(GraphError, match="nonpositive time"):
+            g.add_node("a", time=0)
+
+    def test_parallel_edges_allowed(self):
+        g = DFG()
+        g.add_node("a")
+        g.add_node("b")
+        e1 = g.add_edge("a", "b", 0)
+        e2 = g.add_edge("a", "b", 1)
+        assert e1.eid != e2.eid
+        assert g.num_edges == 2
+        assert [e.delay for e in g.out_edges("a")] == [0, 1]
+
+    def test_self_loop_allowed(self):
+        g = DFG()
+        g.add_node("a")
+        g.add_edge("a", "a", 1)
+        assert g.successors("a") == ["a"]
+        assert g.predecessors("a") == ["a"]
+
+    def test_edge_init_length_checked(self):
+        g = DFG()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(GraphError, match="initial values"):
+            g.add_edge("a", "b", 2, init=[1.0])
+
+
+class TestQueries:
+    def test_insertion_order_preserved(self):
+        g = DFG()
+        for n in ["z", "a", "m"]:
+            g.add_node(n)
+        assert g.nodes == ["z", "a", "m"]
+
+    def test_successors_deduplicated(self):
+        g = DFG()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b", 0)
+        g.add_edge("a", "b", 1)
+        assert g.successors("a") == ["b"]
+
+    def test_time_resolution_order(self):
+        g = DFG()
+        g.add_node("explicit", "mul", time=5)
+        g.add_node("from_timing", "mul")
+        g.add_node("fallback", "weird")
+        timing = Timing({"mul": 2})
+        assert g.time("explicit", timing) == 5
+        assert g.time("from_timing", timing) == 2
+        assert g.time("fallback") == 1  # no timing at all defaults to 1
+
+    def test_ops_histogram(self, two_cycle):
+        assert two_cycle.ops_histogram() == {"add": 2, "mul": 1}
+
+    def test_total_delay(self, two_cycle):
+        assert two_cycle.total_delay() == 3
+
+    def test_unknown_node_queries_raise(self):
+        g = DFG()
+        with pytest.raises(GraphError):
+            g.out_edges("nope")
+        with pytest.raises(GraphError):
+            g.op("nope")
+
+    def test_contains_and_len(self, tiny_loop):
+        assert "a" in tiny_loop
+        assert "zz" not in tiny_loop
+        assert len(tiny_loop) == 2
+        assert list(tiny_loop) == ["a", "m"]
+
+
+class TestMutation:
+    def test_remove_edge(self, tiny_loop):
+        e = tiny_loop.out_edges("a")[0]
+        tiny_loop.remove_edge(e)
+        assert tiny_loop.num_edges == 1
+        assert tiny_loop.out_edges("a") == []
+        with pytest.raises(GraphError):
+            tiny_loop.remove_edge(e)
+
+    def test_remove_node_drops_incident_edges(self, two_cycle):
+        two_cycle.remove_node("a2")
+        assert two_cycle.num_nodes == 2
+        assert all(
+            "a2" not in (e.src, e.dst) for e in two_cycle.edges
+        )
+
+    def test_copy_is_independent(self, tiny_loop):
+        clone = tiny_loop.copy()
+        clone.add_node("extra")
+        assert "extra" not in tiny_loop
+        assert clone.num_edges == tiny_loop.num_edges
+        # edge init values copied
+        delayed = [e for e in clone.edges if e.delay][0]
+        assert clone.edge_init(delayed) == (1.0,)
+
+    def test_reversed_flips_edges(self, tiny_loop):
+        rev = tiny_loop.reversed()
+        assert rev.has_edge("m", "a")
+        assert rev.has_edge("a", "m")
+        delays = sorted(e.delay for e in rev.edges)
+        assert delays == [0, 1]
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, two_cycle):
+        nx_graph = two_cycle.to_networkx()
+        back = DFG.from_networkx(nx_graph)
+        assert back.nodes == two_cycle.nodes
+        assert sorted((e.src, e.dst, e.delay) for e in back.edges) == sorted(
+            (e.src, e.dst, e.delay) for e in two_cycle.edges
+        )
+        assert back.op("m1") == "mul"
+
+    def test_from_plain_digraph(self):
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_edge("u", "v", delay=1)
+        dfg = DFG.from_networkx(g)
+        assert dfg.num_nodes == 2
+        assert dfg.edges[0].delay == 1
+        assert dfg.op("u") == "op"
+
+
+class TestTiming:
+    def test_unit_timing(self):
+        t = Timing.unit()
+        assert t["anything"] == 1
+
+    def test_missing_op_without_default_raises(self):
+        t = Timing({"add": 1})
+        with pytest.raises(KeyError):
+            t["mul"]
+
+    def test_nonpositive_times_rejected(self):
+        with pytest.raises(GraphError):
+            Timing({"add": 0})
+        with pytest.raises(GraphError):
+            Timing({}, default=-1)
+
+    def test_mapping_protocol(self):
+        t = Timing({"add": 1, "mul": 2})
+        assert set(t) == {"add", "mul"}
+        assert len(t) == 2
+        assert dict(t) == {"add": 1, "mul": 2}

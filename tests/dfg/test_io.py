@@ -1,0 +1,82 @@
+"""Unit tests for DFG serialization (JSON, edge list, DOT)."""
+
+import pytest
+
+from repro.dfg import DFG
+from repro.dfg import io as dio
+from repro.suite import diffeq, elliptic
+from repro.errors import GraphError
+
+
+def _same_structure(a: DFG, b: DFG) -> bool:
+    if [str(v) for v in a.nodes] != [str(v) for v in b.nodes]:
+        return False
+    ea = sorted((str(e.src), str(e.dst), e.delay) for e in a.edges)
+    eb = sorted((str(e.src), str(e.dst), e.delay) for e in b.edges)
+    return ea == eb
+
+
+class TestJson:
+    def test_round_trip_benchmarks(self):
+        for g in (diffeq(), elliptic()):
+            back = dio.loads(dio.dumps(g))
+            assert _same_structure(g, back)
+            assert back.name == g.name
+
+    def test_ops_and_times_survive(self):
+        g = DFG("t")
+        g.add_node("a", "mul", time=3, label="alpha")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 2)
+        back = dio.loads(dio.dumps(g))
+        assert back.op("a") == "mul"
+        assert back.explicit_time("a") == 3
+        assert back.label("a") == "alpha"
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(GraphError, match="not a repro.dfg"):
+            dio.loads('{"something": "else"}')
+
+    def test_file_round_trip(self, tmp_path):
+        g = diffeq()
+        path = str(tmp_path / "g.json")
+        dio.save(g, path)
+        assert _same_structure(g, dio.load(path))
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = DFG("el")
+        g.add_node("a", "add")
+        g.add_node("m", "mul", time=2)
+        g.add_edge("a", "m", 0)
+        g.add_edge("m", "a", 1)
+        text = dio.to_edge_list(g)
+        back = dio.from_edge_list(text, "el")
+        assert _same_structure(g, back)
+        assert back.explicit_time("m") == 2
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\nnode a add\nnode b add\nedge a b 0\n"
+        g = dio.from_edge_list(text)
+        assert g.num_nodes == 2 and g.num_edges == 1
+
+    def test_malformed_lines_rejected(self):
+        with pytest.raises(GraphError, match="line 1"):
+            dio.from_edge_list("node onlyname")
+        with pytest.raises(GraphError, match="unknown directive"):
+            dio.from_edge_list("vertex a add")
+        with pytest.raises(GraphError, match="malformed edge"):
+            dio.from_edge_list("node a add\nnode b add\nedge a b")
+
+
+class TestDot:
+    def test_dot_contains_all_elements(self):
+        g = diffeq()
+        dot = dio.to_dot(g)
+        assert dot.startswith("digraph")
+        for v in g.nodes:
+            assert f'"{v}"' in dot
+        # delayed edges are dashed
+        assert "style=dashed" in dot
+        assert "1D" in dot

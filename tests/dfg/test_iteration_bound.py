@@ -1,0 +1,99 @@
+"""Unit tests for the iteration bound (both algorithms)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.dfg import DFG, Timing, critical_cycle, cycle_ratios, iteration_bound, iteration_bound_ceil
+from repro.dfg.iteration_bound import iteration_bound_enumerate, iteration_bound_parametric
+from repro.suite import all_benchmarks, PAPER_TIMING
+from repro.errors import ZeroDelayCycleError
+
+
+class TestSmallGraphs:
+    def test_single_cycle(self, tiny_loop, paper_timing):
+        # a(1) + m(2) over 1 delay
+        assert iteration_bound(tiny_loop, paper_timing) == 3
+
+    def test_max_over_cycles(self, two_cycle, paper_timing):
+        # ratios 3/1 and 2/2
+        assert iteration_bound(two_cycle, paper_timing) == 3
+        ratios = sorted(r for r, _ in cycle_ratios(two_cycle, paper_timing))
+        assert ratios == [Fraction(1), Fraction(3)]
+
+    def test_fractional_bound(self):
+        g = DFG()
+        for n in "ab":
+            g.add_node(n, "add")
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 3)
+        # t=2, d=3
+        assert iteration_bound(g, Timing.unit()) == Fraction(2, 3)
+        assert iteration_bound_ceil(g, Timing.unit()) == 1
+
+    def test_acyclic_graph_bound_zero(self, diamond):
+        assert iteration_bound(diamond, Timing.unit()) == 0
+        assert iteration_bound_parametric(diamond, Timing.unit()) == 0
+
+    def test_zero_delay_cycle_rejected(self):
+        g = DFG()
+        for n in "ab":
+            g.add_node(n)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        with pytest.raises(ZeroDelayCycleError):
+            iteration_bound(g)
+
+    def test_self_loop(self):
+        g = DFG()
+        g.add_node("m", "mul")
+        g.add_edge("m", "m", 2)
+        assert iteration_bound(g, Timing({"mul": 5})) == Fraction(5, 2)
+
+    def test_parallel_edges_use_min_delay(self):
+        g = DFG()
+        for n in "ab":
+            g.add_node(n, "add")
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 1)
+        g.add_edge("b", "a", 5)  # slack edge must not dilute the bound
+        assert iteration_bound(g, Timing.unit()) == 2
+
+    def test_critical_cycle_witness(self, two_cycle, paper_timing):
+        ratio, cycle = critical_cycle(two_cycle, paper_timing)
+        assert ratio == 3
+        assert set(cycle) == {"a1", "m1"}
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("method", ["enumerate", "parametric"])
+    def test_benchmarks(self, method):
+        expected = {"elliptic": 16, "diffeq": 6, "lattice": 2, "allpole": 8, "biquad": 4}
+        for g in all_benchmarks():
+            bound = iteration_bound(g, PAPER_TIMING, method=method)
+            assert bound == expected[g.name], g.name
+
+    def test_agreement_on_random_graphs(self):
+        from repro.suite import random_dfg
+
+        timing = Timing({"add": 1, "mul": 2})
+        for seed in range(8):
+            g = random_dfg(16, seed=seed, forward_density=0.2, backward_density=0.12)
+            assert iteration_bound_enumerate(g, timing) == iteration_bound_parametric(
+                g, timing
+            ), f"seed {seed}"
+
+    def test_exact_rational_snap(self):
+        # bound 7/3 must come back exactly, not as a float approximation
+        g = DFG()
+        for n in "abc":
+            g.add_node(n, "add")
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "c", 0)
+        g.add_edge("c", "a", 3)
+        g.add_node("m", "mul", time=4)
+        g.add_edge("a", "m", 0)
+        g.add_edge("m", "a", 2)
+        timing = Timing({"add": 1, "mul": 4})
+        # cycles: (1+1+1)/3 = 1; (1+4)/2 = 5/2
+        assert iteration_bound_parametric(g, timing) == Fraction(5, 2)

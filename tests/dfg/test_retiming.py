@@ -1,0 +1,127 @@
+"""Unit tests for retiming functions (paper Section 2)."""
+
+import pytest
+
+from repro.dfg import DFG, Retiming
+from repro.errors import RetimingError
+
+
+@pytest.fixture
+def chain_loop() -> DFG:
+    """a -> b -> c with 2 delays on the back edge c -> a."""
+    g = DFG("chain")
+    for n in "abc":
+        g.add_node(n, "add")
+    g.add_edge("a", "b", 0)
+    g.add_edge("b", "c", 0)
+    g.add_edge("c", "a", 2)
+    return g
+
+
+class TestBasics:
+    def test_default_zero(self):
+        r = Retiming.zero()
+        assert r["anything"] == 0
+        assert len(r) == 0
+
+    def test_of_set(self):
+        r = Retiming.of_set(["a", "b"])
+        assert r["a"] == 1 and r["b"] == 1 and r["c"] == 0
+
+    def test_zero_entries_dropped(self):
+        r = Retiming({"a": 0, "b": 2})
+        assert len(r) == 1
+        assert r == Retiming({"b": 2})
+
+    def test_compose_is_pointwise_sum(self):
+        r = Retiming({"a": 1}) + Retiming({"a": 2, "b": -1})
+        assert r["a"] == 3 and r["b"] == -1
+
+    def test_negated(self):
+        r = Retiming({"a": 2}).negated()
+        assert r["a"] == -2
+
+    def test_hash_and_eq(self):
+        assert Retiming({"a": 1}) == Retiming({"a": 1, "b": 0})
+        assert hash(Retiming({"a": 1})) == hash(Retiming({"a": 1}))
+
+
+class TestLegality:
+    def test_dr_formula(self, chain_loop):
+        r = Retiming({"a": 1})
+        drs = {(e.src, e.dst): r.dr(e) for e in chain_loop.edges}
+        # delay pushed through a: leaves its in-edge, lands on its out-edge
+        assert drs[("c", "a")] == 1
+        assert drs[("a", "b")] == 1
+        assert drs[("b", "c")] == 0
+
+    def test_illegal_retiming_detected(self, chain_loop):
+        r = Retiming({"b": 1})  # steals a delay a->b doesn't have
+        assert not r.is_legal(chain_loop)
+        bad = r.illegal_edges(chain_loop)
+        assert [(e.src, e.dst) for e in bad] == [("a", "b")]
+        with pytest.raises(RetimingError, match="illegal"):
+            r.check_legal(chain_loop)
+
+    def test_legal_retiming_passes(self, chain_loop):
+        r = Retiming({"a": 1, "b": 1})
+        assert r.is_legal(chain_loop)
+        r.check_legal(chain_loop)  # no raise
+
+    def test_delay_conservation_on_cycles(self, chain_loop):
+        # any retiming preserves the total delay around each cycle
+        r = Retiming({"a": 5, "b": 3, "c": -2})
+        assert sum(r.dr(e) for e in chain_loop.edges) == sum(
+            e.delay for e in chain_loop.edges
+        )
+
+
+class TestNormalization:
+    def test_normalized_shifts_min_to_zero(self, chain_loop):
+        r = Retiming({"a": 3, "b": 2, "c": 1}).normalized(chain_loop)
+        values = [r[v] for v in chain_loop.nodes]
+        assert min(values) == 0
+        assert values == [2, 1, 0]
+
+    def test_normalized_handles_unset_nodes(self, chain_loop):
+        r = Retiming({"a": 2}).normalized(chain_loop)  # b, c implicit 0
+        assert r["a"] == 2 and r["b"] == 0
+
+    def test_normalization_preserves_dr(self, chain_loop):
+        r = Retiming({"a": 4, "b": 3, "c": 3})
+        rn = r.normalized(chain_loop)
+        for e in chain_loop.edges:
+            assert r.dr(e) == rn.dr(e)
+
+    def test_depth(self, chain_loop):
+        assert Retiming.zero().depth(chain_loop) == 1
+        assert Retiming({"a": 1}).depth(chain_loop) == 2
+        assert Retiming({"a": 2, "b": 1}).depth(chain_loop) == 3
+
+
+class TestRetimedGraph:
+    def test_retime_materializes_dr(self, chain_loop):
+        r = Retiming({"a": 1, "b": 1})
+        gr = r.retime(chain_loop)
+        delays = {(e.src, e.dst): e.delay for e in gr.edges}
+        assert delays == {("a", "b"): 0, ("b", "c"): 1, ("c", "a"): 1}
+
+    def test_retime_rejects_illegal(self, chain_loop):
+        with pytest.raises(RetimingError):
+            Retiming({"c": 5}).retime(chain_loop)
+
+    def test_retime_preserves_metadata(self, chain_loop):
+        gr = Retiming({"a": 1, "b": 1}).retime(chain_loop)
+        assert gr.op("a") == "add"
+        assert gr.nodes == chain_loop.nodes
+
+    def test_stages_grouping(self, chain_loop):
+        r = Retiming({"a": 1, "b": 1})
+        stages = r.stages(chain_loop)
+        assert stages == {1: ["a", "b"], 0: ["c"]}
+        # highest stage (earliest iterations) listed first
+        assert list(stages) == [1, 0]
+
+    def test_restricted(self):
+        r = Retiming({"a": 1, "b": 2}).restricted(["b"])
+        assert r["a"] == 0 and r["b"] == 2

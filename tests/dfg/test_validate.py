@@ -1,0 +1,59 @@
+"""Unit tests for structural validation."""
+
+import pytest
+
+from repro.dfg import DFG, Timing, assert_valid, validate
+from repro.suite import all_benchmarks
+from repro.errors import GraphError
+
+
+class TestValidate:
+    def test_clean_benchmarks(self):
+        for g in all_benchmarks():
+            assert validate(g) == [], g.name
+
+    def test_zero_delay_cycle_is_error(self):
+        g = DFG()
+        for n in "ab":
+            g.add_node(n)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        issues = validate(g)
+        assert any(i.severity == "error" and "zero-delay cycle" in i.message for i in issues)
+        with pytest.raises(GraphError, match="zero-delay cycle"):
+            assert_valid(g)
+
+    def test_missing_timing_is_error(self):
+        g = DFG()
+        g.add_node("a", "exotic")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 0)
+        issues = validate(g, timing=Timing({"add": 1}))
+        assert any("no time" in i.message for i in issues)
+        with pytest.raises(GraphError):
+            assert_valid(g, timing=Timing({"add": 1}))
+
+    def test_unknown_op_is_warning_only(self):
+        g = DFG()
+        g.add_node("a", "exotic")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 0)
+        issues = validate(g, known_ops=["add", "mul"])
+        assert any(i.severity == "warning" and "unknown op" in i.message for i in issues)
+        assert_valid(g, known_ops=["add", "mul"])  # warnings don't raise
+
+    def test_isolated_node_warning(self):
+        g = DFG()
+        g.add_node("alone")
+        issues = validate(g)
+        assert any("isolated" in i.message for i in issues)
+
+    def test_empty_graph_warning(self):
+        issues = validate(DFG())
+        assert len(issues) == 1 and issues[0].severity == "warning"
+
+    def test_issue_str(self):
+        g = DFG()
+        g.add_node("alone")
+        text = str(validate(g)[0])
+        assert text.startswith("[warning]")

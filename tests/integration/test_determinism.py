@@ -1,0 +1,60 @@
+"""Determinism: identical inputs give identical outputs, end to end.
+
+Reproducibility is a headline requirement for a reproduction package:
+every algorithm here is seedless-deterministic (insertion-order data
+structures, explicit tie-breaks), so re-running any experiment must give
+byte-identical artifacts.
+"""
+
+import pytest
+
+from repro.schedule import ResourceModel
+from repro.core import rotation_schedule
+from repro.baselines import modulo_schedule, retime_then_schedule
+from repro.binding import emit_datapath, select_schedule
+from repro.report import render_schedule
+from repro.report.svg import schedule_svg
+from repro.suite import BENCHMARKS, get_benchmark
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("bench", list(BENCHMARKS))
+    def test_rotation_schedule_is_deterministic(self, bench):
+        model = ResourceModel.adders_mults(2, 2)
+        a = rotation_schedule(get_benchmark(bench), model, beta=16)
+        b = rotation_schedule(get_benchmark(bench), model, beta=16)
+        assert a.length == b.length
+        assert a.schedule.start_map == b.schedule.start_map
+        assert dict(a.retiming.items_nonzero()) == dict(b.retiming.items_nonzero())
+        assert len(a.alternates) == len(b.alternates)
+
+    def test_baselines_are_deterministic(self):
+        g1, g2 = get_benchmark("elliptic"), get_benchmark("elliptic")
+        model = ResourceModel.adders_mults(2, 2)
+        assert modulo_schedule(g1, model).start == modulo_schedule(g2, model).start
+        assert (
+            retime_then_schedule(g1, model).schedule.start_map
+            == retime_then_schedule(g2, model).schedule.start_map
+        )
+
+    def test_artifacts_are_byte_identical(self):
+        model = ResourceModel.adders_mults(2, 3)
+
+        def build():
+            res = rotation_schedule(get_benchmark("biquad"), model, beta=12)
+            best = select_schedule(res).best
+            return (
+                render_schedule(best.schedule, model, retiming=best.retiming),
+                schedule_svg(best.schedule, best.retiming, period=best.period),
+                emit_datapath(best, module_name="bq").verilog,
+            )
+
+        assert build() == build()
+
+    def test_q_order_is_stable(self):
+        model = ResourceModel.unit_time(1, 1)
+        a = rotation_schedule(get_benchmark("diffeq"), model)
+        b = rotation_schedule(get_benchmark("diffeq"), model)
+        assert [w.schedule.start_map for w in a.alternates] == [
+            w.schedule.start_map for w in b.alternates
+        ]

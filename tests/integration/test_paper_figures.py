@@ -1,0 +1,150 @@
+"""Integration tests reproducing the paper's worked figures.
+
+Figure 2 (two down-rotations of size 1, unit-time operations),
+Figure 3 (the corresponding retimed graphs), Figure 4 (global view),
+Figure 5 (depth reduction 4 -> 2), Figures 6-8 (multi-cycle rotations
+and wrapping to length 6).
+"""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, realizing_retiming, unroll
+from repro.core import RotationState, reduce_depth, unwrap_if_possible, wrap, wrapped_length
+from repro.suite import diffeq
+
+
+@pytest.fixture
+def unit_state():
+    return RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+
+
+class TestFigure2:
+    def test_initial_schedule_cell_by_cell(self, unit_state):
+        """Figure 2-(a): the optimal DAG schedule of length 8."""
+        s = unit_state.schedule.normalized()
+        mult_col = {s.start(v) + 1: v for v in s.graph.nodes if s.graph.op(v) == "mul"}
+        add_col = {s.start(v) + 1: v for v in s.graph.nodes if s.graph.op(v) != "mul"}
+        assert mult_col == {2: 1, 3: 0, 4: 3, 5: 2, 6: 4, 7: 7}
+        assert add_col == {1: 10, 2: 8, 5: 5, 7: 6, 8: 9}
+        assert s.length == 8
+
+    def test_first_rotation_length_7(self, unit_state):
+        """Figure 2-(b): rotating {10} compacts the schedule to 7."""
+        st = unit_state.down_rotate(1)
+        assert st.trace[-1].rotated == (10,)
+        assert st.length == 7
+        s = st.schedule.normalized()
+        # node 10 lands beside node 0, one CS after node 8 (its new pred)
+        assert s.start(10) == s.start(0) == s.start(8) + 1
+
+    def test_second_rotation_is_optimal_6(self, unit_state):
+        """Figure 2-(c): rotating {1, 8} reaches the optimum, cell by cell."""
+        st = unit_state.down_rotate(1).down_rotate(1)
+        assert st.length == 6
+        s = st.schedule.normalized()
+        mult_col = {s.start(v) + 1: v for v in s.graph.nodes if s.graph.op(v) == "mul"}
+        add_col = {s.start(v) + 1: v for v in s.graph.nodes if s.graph.op(v) != "mul"}
+        assert mult_col == {1: 0, 2: 3, 3: 2, 4: 4, 5: 7, 6: 1}
+        assert add_col == {1: 10, 2: 8, 3: 5, 5: 6, 6: 9}
+
+
+class TestFigure3:
+    def test_retimed_graphs(self, unit_state):
+        """Figure 3: r(10)=1 after one rotation; r(10)=r(8)=r(1)=1 after two."""
+        st1 = unit_state.down_rotate(1)
+        assert dict(st1.retiming.items_nonzero()) == {10: 1}
+        st2 = st1.down_rotate(1)
+        assert dict(st2.retiming.items_nonzero()) == {1: 1, 8: 1, 10: 1}
+        # node 10 went from DAG root to DAG leaf
+        from repro.dfg import leaves, roots
+
+        g = st1.graph
+        assert 10 in roots(g)
+        assert 10 in leaves(g, st1.retiming)
+
+    def test_retimed_graph_materialization(self, unit_state):
+        st = unit_state.down_rotate(1)
+        gr = st.retiming.retime(st.graph)
+        # all of 10's out-edges gained a delay, its in-edge lost one
+        assert all(e.delay >= 1 for e in gr.out_edges(10))
+        assert all(e.delay == 0 for e in gr.in_edges(10))
+
+
+class TestFigure4:
+    def test_global_view_prologue_body_epilogue(self, unit_state):
+        """Figure 4-(c): the rescheduled pipeline's unrolled timeline."""
+        st = unit_state.down_rotate(1).down_rotate(1)
+        r = st.retiming.normalized(st.graph)
+        u = unroll(st.schedule.normalized(), r, iterations=6)
+        assert u.depth == 2
+        assert {(e.node, e.iteration) for e in u.phase_entries("prologue")} == {
+            (10, 0), (8, 0), (1, 0),
+        }
+        assert u.dependence_violations() == []
+        assert u.resource_violations() == []
+        # steady state: one iteration completes every 6 global CS
+        assert u.period == 6
+
+
+class TestFigure5:
+    def test_depth_reduction_4_to_2(self, unit_state):
+        """Seven size-2 rotations accumulate depth > 2; Section 3.2's
+        shortest-path retiming realizes the same optimal schedule at 2."""
+        st = unit_state
+        max_accumulated = 0
+        for _ in range(7):
+            st = st.down_rotate(min(2, st.length - 1))
+            max_accumulated = max(
+                max_accumulated, st.retiming.normalized(st.graph).depth(st.graph)
+            )
+        assert st.length == 6
+        assert max_accumulated >= 4  # the rotation function gets deep (paper: 4)
+        assert st.retiming.normalized(st.graph).depth(st.graph) > 2
+        shallow = reduce_depth(st.schedule)
+        assert shallow.depth(st.graph) == 2
+        assert st.schedule.is_legal_dag_schedule(shallow)
+
+
+class TestFigures6to8:
+    @pytest.fixture
+    def mp_state(self):
+        return RotationState.initial(
+            diffeq(), ResourceModel.adders_mults(1, 1, pipelined_mults=True)
+        )
+
+    def test_rotation_can_lengthen_unwrapped_schedule(self, mp_state):
+        """Figure 6: multi-cycle tails can grow the post-rotation span."""
+        st = mp_state
+        grew = False
+        for _ in range(8):
+            new = st.down_rotate(1)
+            span_without_tail = new.schedule.normalized()
+            if new.length > max(
+                new.schedule.start(v) for v in new.graph.nodes
+            ) - new.schedule.first_cs + 1:
+                grew = True
+            st = new
+        assert grew  # tails hang past the last start at some point
+
+    def test_wrapping_recovers_length_6(self, mp_state):
+        """Figure 8: after 8 size-1 rotations the wrapped schedule has
+        length 6 — the Table 3 optimum for 1A 1Mp."""
+        st = mp_state
+        for _ in range(8):
+            st = st.down_rotate(1)
+        w = wrap(st.schedule, st.retiming)
+        assert w.period == 6
+        assert w.violations() == []
+
+    def test_wrapped_schedule_can_be_rerooted(self, mp_state):
+        """Section 4: 'a wrapped schedule can be easily rotated to be an
+        unwrapped one' by picking a different first control step."""
+        st = mp_state
+        for _ in range(8):
+            st = st.down_rotate(1)
+        w = wrap(st.schedule, st.retiming)
+        if w.wrapped_nodes():
+            out = unwrap_if_possible(w)
+            assert out.period == w.period
+            assert out.violations() == []

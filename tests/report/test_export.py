@@ -1,0 +1,50 @@
+"""Unit tests for CSV/JSON/Markdown export."""
+
+import csv
+import io
+import json
+
+from repro.schedule import ResourceModel, full_schedule
+from repro.report import schedule_records, to_csv, to_json_records, to_markdown, write_text
+from repro.suite import diffeq
+
+
+class TestExports:
+    def test_csv_round_trip(self):
+        text = to_csv(["a", "b"], [[1, "x,y"], [2, "z"]])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x,y"], ["2", "z"]]
+
+    def test_json_records(self):
+        text = to_json_records(["name", "len"], [["diffeq", 6]])
+        data = json.loads(text)
+        assert data == [{"name": "diffeq", "len": 6}]
+
+    def test_markdown_table(self):
+        text = to_markdown(["A", "B"], [[1, 2]])
+        lines = text.splitlines()
+        assert lines[0] == "| A | B |"
+        assert lines[1].startswith("|---")
+        assert lines[2] == "| 1 | 2 |"
+
+    def test_schedule_records(self):
+        model = ResourceModel.unit_time(1, 1)
+        s = full_schedule(diffeq(), model)
+        recs = schedule_records(s)
+        assert len(recs) == 11
+        assert {"node", "op", "start_cs", "unit"} <= set(recs[0])
+
+    def test_schedule_records_with_retiming(self):
+        from repro.dfg import Retiming
+
+        model = ResourceModel.unit_time(1, 1)
+        s = full_schedule(diffeq(), model)
+        recs = schedule_records(s, Retiming.of_set([10]))
+        by_node = {r["node"]: r for r in recs}
+        assert by_node["10"]["rotation"] == 1
+        assert by_node["9"]["rotation"] == 0
+
+    def test_write_text(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        write_text(path, "hello")
+        assert open(path).read() == "hello"

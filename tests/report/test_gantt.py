@@ -1,0 +1,66 @@
+"""Unit tests for Gantt-chart rendering."""
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, full_schedule, realizing_retiming, unroll
+from repro.report import gantt, pipeline_gantt, retiming_stages
+from repro.suite import diffeq
+
+
+class TestGantt:
+    def test_unit_lanes_rendered(self):
+        from repro.suite import elliptic
+
+        model = ResourceModel.adders_mults(2, 1)
+        s = full_schedule(elliptic(), model)
+        chart = gantt(s)
+        lines = chart.splitlines()
+        assert any(line.startswith("adder[0]") for line in lines)
+        assert any(line.startswith("adder[1]") for line in lines)
+        assert any(line.startswith("mult[0]") for line in lines)
+
+    def test_multicycle_tail_cells(self):
+        model = ResourceModel.adders_mults(1, 1)
+        s = full_schedule(diffeq(), model)
+        chart = gantt(s)
+        assert "'" in chart
+
+    def test_idle_cells_are_dots(self):
+        model = ResourceModel.adders_mults(2, 2)
+        s = full_schedule(diffeq(), model)
+        assert "." in gantt(s)
+
+
+class TestPipelineGantt:
+    def test_global_view(self):
+        from repro.schedule import Schedule
+
+        g = diffeq()
+        model = ResourceModel.unit_time(1, 1)
+        start = {0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5}
+        sched = Schedule(g, model, start)
+        r = realizing_retiming(sched)
+        chart = pipeline_gantt(unroll(sched, r, 4))
+        assert "global" in chart
+        assert "*" in chart  # prologue marks
+        assert "@" in chart
+
+    def test_max_cs_filter(self):
+        from repro.schedule import Schedule
+
+        g = diffeq()
+        model = ResourceModel.unit_time(1, 1)
+        start = {0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5}
+        sched = Schedule(g, model, start)
+        r = realizing_retiming(sched)
+        short = pipeline_gantt(unroll(sched, r, 4), max_cs=0)
+        full = pipeline_gantt(unroll(sched, r, 4))
+        assert len(short.splitlines()) < len(full.splitlines())
+
+
+class TestRetimingStages:
+    def test_stage_listing(self):
+        text = retiming_stages(Retiming({10: 1, 8: 1, 1: 1}), [10, 8, 1, 0, 9])
+        lines = text.splitlines()
+        assert lines[0].startswith("stage r=1")
+        assert "10" in lines[0]
+        assert lines[1].startswith("stage r=0")

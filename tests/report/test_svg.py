@@ -1,0 +1,63 @@
+"""Unit tests for the SVG renderers."""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, unroll
+from repro.core import rotation_schedule
+from repro.report.svg import pipeline_svg, save_svg, schedule_svg
+from repro.suite import diffeq
+
+
+@pytest.fixture(scope="module")
+def result():
+    return rotation_schedule(diffeq(), ResourceModel.unit_time(1, 1))
+
+
+class TestScheduleSvg:
+    def test_well_formed_xml(self, result):
+        svg = schedule_svg(result.schedule, result.retiming, period=result.length)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_rect_per_op(self, result):
+        svg = schedule_svg(result.schedule, result.retiming)
+        assert svg.count('class="op"') == result.graph.num_nodes
+
+    def test_stage_coloring_differs(self, result):
+        svg = schedule_svg(result.schedule, result.retiming)
+        fills = set(re.findall(r'fill="(#\w+)"', svg))
+        assert len(fills) >= 2  # two pipeline stages, two colors
+
+    def test_period_marker(self, result):
+        # force a longer span so the period line shows
+        shifted = result.schedule.with_updates({9: result.schedule.start(9)})
+        svg = schedule_svg(shifted, result.retiming, period=result.length - 1)
+        assert "II =" in svg
+
+    def test_title_escaped(self, result):
+        svg = schedule_svg(result.schedule, title="a<b & c")
+        assert "a&lt;b &amp; c" in svg
+
+    def test_save(self, result, tmp_path):
+        path = str(tmp_path / "sched.svg")
+        save_svg(schedule_svg(result.schedule), path)
+        assert open(path).read().startswith("<svg")
+
+
+class TestPipelineSvg:
+    def test_well_formed_and_phases_colored(self, result):
+        u = unroll(result.schedule.normalized(), result.retiming, 5)
+        svg = pipeline_svg(u, title="diffeq pipeline")
+        ET.fromstring(svg)
+        assert "#e15759" in svg  # prologue color present
+        assert svg.count('class="op"') == 5 * result.graph.num_nodes
+
+    def test_iteration_rows_labelled(self, result):
+        u = unroll(result.schedule.normalized(), result.retiming, 4)
+        svg = pipeline_svg(u)
+        for i in range(4):
+            assert f"iter {i}" in svg

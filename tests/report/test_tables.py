@@ -1,0 +1,54 @@
+"""Unit tests for table rendering."""
+
+from repro.schedule import ResourceModel
+from repro.core import rotation_schedule
+from repro.report import render_results_table, render_schedule, render_table1
+from repro.suite import diffeq
+
+
+class TestRenderSchedule:
+    def test_figure_2a_layout(self):
+        from repro.schedule import full_schedule
+
+        model = ResourceModel.unit_time(1, 1)
+        s = full_schedule(diffeq(), model)
+        text = render_schedule(s, model)
+        lines = text.splitlines()
+        assert lines[0].startswith("CS")
+        assert "Adder" in lines[0] and "Mult" in lines[0]
+        # CS 1 holds only node 10 on the adder
+        row1 = lines[2]
+        assert row1.startswith("1") and "10" in row1
+
+    def test_multicycle_tails_marked(self):
+        model = ResourceModel.adders_mults(1, 1)
+        res = rotation_schedule(diffeq(), model, beta=8)
+        text = render_schedule(res.schedule, model)
+        assert "'" in text  # tails like 0'
+
+    def test_retiming_stages_appended(self):
+        model = ResourceModel.unit_time(1, 1)
+        res = rotation_schedule(diffeq(), model, beta=8)
+        text = render_schedule(res.schedule, model, retiming=res.retiming)
+        assert "rotated stages:" in text
+        assert "r=1" in text
+
+
+class TestResultTables:
+    def test_generic_matrix(self):
+        text = render_results_table(
+            "Demo", ["Resources", "LB", "RS"], [["3A 2M", 16, "16 (2)"]]
+        )
+        assert "Demo" in text
+        assert "3A 2M" in text and "16 (2)" in text
+        # header separator present
+        assert "---" in text.splitlines()[2]
+
+    def test_table1_shape(self):
+        text = render_table1([("Differential Equation", 6, 5, 7, 6)])
+        assert "#Mults" in text and "IB" in text
+        assert "Differential Equation" in text
+
+    def test_float_formatting(self):
+        text = render_results_table("T", ["x"], [[1.23456]])
+        assert "1.23" in text

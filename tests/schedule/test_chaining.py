@@ -1,0 +1,122 @@
+"""Unit tests for operation chaining (time-unit control steps)."""
+
+import pytest
+
+from repro.dfg import DFG, Retiming, Timing
+from repro.schedule.chaining import (
+    ChainedSchedule,
+    chained_full_schedule,
+    paper_technology,
+)
+from repro.suite import diffeq
+from repro.errors import ResourceError, SchedulingError
+
+
+def _simple_chain_graph() -> DFG:
+    """a1 -> a2 -> a3 adds feeding one multiply, plus a loop-carried edge."""
+    g = DFG("chains")
+    for n in ("a1", "a2", "a3"):
+        g.add_node(n, "add")
+    g.add_node("m", "mul")
+    g.add_edge("a1", "a2", 0)
+    g.add_edge("a2", "a3", 0)
+    g.add_edge("a3", "m", 0)
+    g.add_edge("m", "a1", 1)
+    return g
+
+
+class TestPaperTechnology:
+    def test_50ns_clock_no_chaining(self):
+        """40 + 40 > 50: two adds never share a control step in series."""
+        timing, cs, units, binding = paper_technology(50)
+        sched = chained_full_schedule(_simple_chain_graph(), timing, cs, units, binding)
+        assert sched.violations() == []
+        assert sched.chains() == []
+        # a1@0, a2@1, a3@2, m spans 2 steps: total 5 CS
+        assert sched.length == 5
+
+    def test_100ns_clock_chains_two_adds(self):
+        """At 100 ns, two 40 ns adds chain and the 80 ns multiply fits one
+        step — the schedule collapses."""
+        timing, _, units, binding = paper_technology()
+        sched = chained_full_schedule(_simple_chain_graph(), timing, 100, units, binding)
+        assert sched.violations() == []
+        chains = sched.chains()
+        assert any(len(c) >= 2 for c in chains)
+        assert sched.length <= 3
+
+    def test_diffeq_on_paper_clock(self):
+        timing, cs, units, binding = paper_technology(50)
+        sched = chained_full_schedule(diffeq(), timing, cs, units, binding)
+        assert sched.violations() == []
+        # equivalent to the integral 1A 1M model: 14 CS initial schedule
+        assert sched.length == 14
+
+
+class TestMechanics:
+    def test_multicycle_aligns_to_step_boundary(self):
+        timing, cs, units, binding = paper_technology(50)
+        sched = chained_full_schedule(_simple_chain_graph(), timing, cs, units, binding)
+        assert sched.entry("m").offset == 0
+
+    def test_start_finish_times(self):
+        timing, _, units, binding = paper_technology()
+        sched = chained_full_schedule(_simple_chain_graph(), timing, 100, units, binding)
+        assert sched.finish_time("a1") - sched.start_time("a1") == 40
+
+    def test_under_retiming(self):
+        timing, cs, units, binding = paper_technology(50)
+        g = _simple_chain_graph()
+        r = Retiming.of_set(["a1"])
+        sched = chained_full_schedule(g, timing, cs, units, binding, r)
+        assert sched.violations(r) == []
+
+    def test_resource_contention_serializes(self):
+        g = DFG()
+        g.add_node("x", "add")
+        g.add_node("y", "add")
+        timing = Timing({"add": 40})
+        sched = chained_full_schedule(
+            g, timing, 50, {"adder": 1}, {"add": "adder"}
+        )
+        starts = sorted(sched.start_time(v) for v in g.nodes)
+        assert starts[1] >= starts[0] + 40  # one adder: no overlap
+
+    def test_two_units_parallelize(self):
+        g = DFG()
+        g.add_node("x", "add")
+        g.add_node("y", "add")
+        timing = Timing({"add": 40})
+        sched = chained_full_schedule(
+            g, timing, 50, {"adder": 2}, {"add": "adder"}
+        )
+        assert sched.start_time("x") == sched.start_time("y") == 0
+
+    def test_missing_binding_rejected(self):
+        g = DFG()
+        g.add_node("x", "fft")
+        with pytest.raises(ResourceError):
+            chained_full_schedule(g, Timing({"fft": 10}), 50, {"adder": 1}, {})
+
+    def test_nonpositive_cs_rejected(self):
+        g = DFG()
+        g.add_node("x", "add")
+        with pytest.raises(SchedulingError):
+            chained_full_schedule(g, Timing({"add": 1}), 0, {"adder": 1}, {"add": "adder"})
+
+    def test_violation_detection(self):
+        """Hand-built illegal chained schedules are caught."""
+        from repro.schedule.chaining import ChainedScheduleEntry
+
+        g = _simple_chain_graph()
+        timing, cs, units, binding = paper_technology(50)
+        entries = {
+            "a1": ChainedScheduleEntry("a1", 0, 0, "adder", 0),
+            "a2": ChainedScheduleEntry("a2", 0, 20, "adder", 0),  # too early + overlap
+            "a3": ChainedScheduleEntry("a3", 1, 0, "adder", 0),
+            "m": ChainedScheduleEntry("m", 2, 0, "mult", 0),
+        }
+        sched = ChainedSchedule(g, timing, cs, units, binding, entries)
+        bad = sched.violations()
+        assert any("too early" in v for v in bad)
+        assert any("double-booked" in v for v in bad)

@@ -1,0 +1,131 @@
+"""Unit tests for conditional DFG scheduling with resource sharing."""
+
+import pytest
+
+from repro.dfg import DFG
+from repro.schedule import ResourceModel
+from repro.schedule.conditional import (
+    ConditionalRotationState,
+    are_exclusive,
+    conditional_full_schedule,
+    guard_of,
+    set_guard,
+)
+from repro.errors import GraphError, RotationError
+
+
+def _if_then_else() -> DFG:
+    """cmp guards two multiply branches merged by an add, in a loop.
+
+        cmp -> {mT (then), mE (else)} -> merge -> (delay) -> cmp
+    """
+    g = DFG("ite")
+    g.add_node("cmp", "cmp")
+    g.add_node("mT", "mul")
+    g.add_node("mE", "mul")
+    g.add_node("merge", "add")
+    g.add_edge("cmp", "mT", 0)
+    g.add_edge("cmp", "mE", 0)
+    g.add_edge("mT", "merge", 0)
+    g.add_edge("mE", "merge", 0)
+    g.add_edge("merge", "cmp", 1)
+    set_guard(g, "mT", [("c", True)])
+    set_guard(g, "mE", [("c", False)])
+    return g
+
+
+class TestGuards:
+    def test_guard_roundtrip(self):
+        g = _if_then_else()
+        assert guard_of(g, "mT") == (("c", True),)
+        assert guard_of(g, "cmp") == ()
+
+    def test_exclusivity(self):
+        g = _if_then_else()
+        assert are_exclusive(g, "mT", "mE")
+        assert not are_exclusive(g, "mT", "cmp")
+        assert not are_exclusive(g, "mT", "mT")
+
+    def test_nested_guards(self):
+        g = _if_then_else()
+        g.add_node("x", "add")
+        g.add_node("y", "add")
+        set_guard(g, "x", [("c", True), ("d", True)])
+        set_guard(g, "y", [("c", True), ("d", False)])
+        assert are_exclusive(g, "x", "y")        # differ on d
+        assert are_exclusive(g, "x", "mE")       # differ on c
+        assert not are_exclusive(g, "x", "mT")   # both then-branch of c
+
+    def test_contradictory_guard_rejected(self):
+        g = _if_then_else()
+        g.add_node("bad", "add")
+        with pytest.raises(GraphError, match="contradictory"):
+            set_guard(g, "bad", [("c", True), ("c", False)])
+
+
+class TestConditionalScheduling:
+    def test_exclusive_branches_share_one_multiplier(self):
+        """The whole point: both 2-cycle multiplies fit a single unit in
+        the same control steps because only one executes per iteration."""
+        g = _if_then_else()
+        model = ResourceModel.adders_mults(1, 1)
+        sched = conditional_full_schedule(g, model)
+        assert sched.violations() == []
+        assert sched.start["mT"] == sched.start["mE"]
+        assert sched.instance["mT"] == sched.instance["mE"]
+        # cmp(1) + mul(2) + add(1) = 4 CS despite two multiplies
+        assert sched.length == 4
+
+    def test_without_guards_the_multiplies_serialize(self):
+        g = _if_then_else()
+        set_guard(g, "mT", [])
+        set_guard(g, "mE", [])
+        model = ResourceModel.adders_mults(1, 1)
+        sched = conditional_full_schedule(g, model)
+        assert sched.violations() == []
+        assert sched.length == 6  # 1 + 2 + 2 + 1
+
+    def test_sharing_violation_detected(self):
+        from repro.schedule.conditional import ConditionalSchedule
+
+        g = _if_then_else()
+        set_guard(g, "mE", [("c", True)])  # same branch: NOT exclusive
+        model = ResourceModel.adders_mults(1, 1)
+        sched = ConditionalSchedule(
+            g, model,
+            start={"cmp": 0, "mT": 1, "mE": 1, "merge": 3},
+            instance={"cmp": 0, "mT": 0, "mE": 0, "merge": 0},
+        )
+        assert any("share" in v for v in sched.violations())
+
+    def test_rotation_over_conditional_schedule(self):
+        g = _if_then_else()
+        model = ResourceModel.adders_mults(1, 1)
+        state = ConditionalRotationState.initial(g, model)
+        initial = state.length
+        for _ in range(3):
+            if state.length <= 1:
+                break
+            state = state.down_rotate(1)
+            assert state.schedule.violations(state.retiming) == []
+        assert state.length <= initial
+
+    def test_rotation_size_bounds(self):
+        g = _if_then_else()
+        state = ConditionalRotationState.initial(g, ResourceModel.adders_mults(1, 1))
+        with pytest.raises(RotationError):
+            state.down_rotate(0)
+
+    def test_partial_scheduling_with_fixed(self):
+        g = _if_then_else()
+        model = ResourceModel.adders_mults(1, 1)
+        base = conditional_full_schedule(g, model)
+        fixed = {
+            v: (base.start[v], base.instance[v])
+            for v in g.nodes
+            if v != "merge"
+        }
+        out = conditional_full_schedule(g, model, fixed=fixed)
+        assert out.violations() == []
+        for v, (cs, k) in fixed.items():
+            assert out.start[v] == cs and out.instance[v] == k

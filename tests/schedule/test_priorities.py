@@ -1,0 +1,58 @@
+"""Unit tests for list-scheduling priority functions."""
+
+import pytest
+
+from repro.schedule import (
+    PRIORITIES,
+    combined_priority,
+    descendant_priority,
+    get_priority,
+    height_priority,
+    mobility_priority,
+)
+from repro.suite import diffeq, PAPER_TIMING
+
+
+class TestPriorities:
+    def test_descendant_priority_matches_paper(self):
+        g = diffeq()
+        prio = descendant_priority(g)
+        assert prio[10] == (10,)
+        assert prio[1] == (3,)
+        assert prio[8] == (0,)
+
+    def test_height_priority(self):
+        g = diffeq()
+        prio = height_priority(g, PAPER_TIMING)
+        # node 10 heads the longest chain 10-1-3-5-6 = 7
+        assert prio[10] == (7,)
+        assert prio[6] == (1,)
+
+    def test_mobility_priority_critical_first(self):
+        g = diffeq()
+        prio = mobility_priority(g, PAPER_TIMING)
+        # critical-path nodes have slack 0 (priority key 0, the maximum)
+        for v in (10, 1, 3, 5, 6):
+            assert prio[v] == (0,)
+        # off-critical nodes have negative keys
+        assert prio[9] < (0,)
+
+    def test_combined_priority_is_lexicographic(self):
+        g = diffeq()
+        prio = combined_priority(g, PAPER_TIMING)
+        assert len(prio[10]) == 2
+        assert prio[10] > prio[1]
+
+    def test_registry_and_lookup(self):
+        assert set(PRIORITIES) == {"descendants", "height", "mobility", "combined"}
+        assert get_priority("height") is height_priority
+        fn = lambda g, t, r: {}
+        assert get_priority(fn) is fn
+        with pytest.raises(ValueError, match="unknown priority"):
+            get_priority("bogus")
+
+    def test_all_priorities_cover_all_nodes(self):
+        g = diffeq()
+        for name, fn in PRIORITIES.items():
+            prio = fn(g, PAPER_TIMING, None)
+            assert set(prio) == set(g.nodes), name

@@ -1,0 +1,78 @@
+"""Unit tests for the resource model."""
+
+import pytest
+
+from repro.schedule import ResourceModel, UnitSpec
+from repro.errors import ResourceError
+
+
+class TestUnitSpec:
+    def test_busy_offsets_non_pipelined(self):
+        spec = UnitSpec("mult", 1, latency=2, pipelined=False)
+        assert list(spec.busy_offsets) == [0, 1]
+
+    def test_busy_offsets_pipelined(self):
+        spec = UnitSpec("mult", 1, latency=2, pipelined=True)
+        assert list(spec.busy_offsets) == [0]
+
+    def test_invalid_counts(self):
+        with pytest.raises(ResourceError):
+            UnitSpec("x", 0)
+        with pytest.raises(ResourceError):
+            UnitSpec("x", 1, latency=0)
+
+    def test_describe(self):
+        assert "pipelined" in UnitSpec("m", 1, 2, True).describe()
+        assert "latency 2" in UnitSpec("m", 1, 2, False).describe()
+
+
+class TestResourceModel:
+    def test_paper_configuration(self):
+        model = ResourceModel.adders_mults(3, 2)
+        assert model.latency("add") == 1
+        assert model.latency("sub") == 1
+        assert model.latency("cmp") == 1
+        assert model.latency("mul") == 2
+        assert model.unit_for_op("mul").count == 2
+        assert not model.unit_for_op("mul").pipelined
+
+    def test_pipelined_mults(self):
+        model = ResourceModel.adders_mults(3, 1, pipelined_mults=True)
+        assert model.unit_for_op("mul").pipelined
+        assert model.latency("mul") == 2  # still two stages for precedence
+        assert list(model.busy_offsets("mul")) == [0]
+
+    def test_unit_time(self):
+        model = ResourceModel.unit_time(1, 1)
+        assert model.latency("mul") == 1
+
+    def test_label_matches_paper_notation(self):
+        assert ResourceModel.adders_mults(3, 2).label() == "3A 2M"
+        assert ResourceModel.adders_mults(2, 1, pipelined_mults=True).label() == "2A 1Mp"
+
+    def test_timing_export(self):
+        timing = ResourceModel.adders_mults(1, 1).timing()
+        assert timing["mul"] == 2 and timing["add"] == 1
+
+    def test_unknown_op_rejected(self):
+        model = ResourceModel.adders_mults(1, 1)
+        with pytest.raises(ResourceError, match="not bound"):
+            model.unit_for_op("fft")
+
+    def test_duplicate_unit_rejected(self):
+        with pytest.raises(ResourceError, match="duplicate"):
+            ResourceModel([UnitSpec("u", 1), UnitSpec("u", 2)], {})
+
+    def test_binding_to_unknown_unit_rejected(self):
+        with pytest.raises(ResourceError, match="unknown unit"):
+            ResourceModel([UnitSpec("u", 1)], {"add": "ghost"})
+
+    def test_single_class(self):
+        model = ResourceModel.single_class("alu", 4, ["add", "mul"], latency=1)
+        assert model.unit_for_op("add") is model.unit_for_op("mul")
+        assert model.unit("alu").count == 4
+
+    def test_ops_for_unit(self):
+        model = ResourceModel.adders_mults(1, 1)
+        assert set(model.ops_for_unit("adder")) == {"add", "sub", "cmp"}
+        assert model.ops_for_unit("mult") == ["mul"]

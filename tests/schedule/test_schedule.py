@@ -1,0 +1,115 @@
+"""Unit tests for the Schedule container."""
+
+import pytest
+
+from repro.dfg import DFG, Retiming
+from repro.schedule import ResourceModel, Schedule
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def graph() -> DFG:
+    g = DFG("s")
+    g.add_node("m1", "mul")
+    g.add_node("m2", "mul")
+    g.add_node("a1", "add")
+    g.add_edge("m1", "a1", 0)
+    g.add_edge("a1", "m2", 1)
+    g.add_edge("m2", "m1", 1)
+    return g
+
+
+@pytest.fixture
+def model() -> ResourceModel:
+    return ResourceModel.adders_mults(1, 1)
+
+
+class TestBasics:
+    def test_lengths_and_finish(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s.finish("m1") == 2  # 2-cycle mult
+        assert s.finish("a1") == 3
+        assert s.first_cs == 0
+        assert s.last_cs == 4  # m2 occupies 3 and 4
+        assert s.length == 5
+
+    def test_missing_node_rejected(self, graph, model):
+        with pytest.raises(SchedulingError, match="misses"):
+            Schedule(graph, model, {"m1": 0})
+
+    def test_unknown_node_rejected(self, graph, model):
+        with pytest.raises(SchedulingError, match="unknown"):
+            Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3, "ghost": 1})
+
+    def test_normalized_and_shifted(self, graph, model):
+        s = Schedule(graph, model, {"m1": 5, "a1": 7, "m2": 8})
+        n = s.normalized()
+        assert n.first_cs == 0 and n.length == s.length
+        assert n.start("a1") == 2
+        assert s.shifted(-5).start_map == n.start_map
+
+    def test_nodes_starting_in(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s.nodes_starting_in(0, 2) == ["m1", "a1"]
+        assert s.nodes_starting_in(3, 3) == ["m2"]
+
+    def test_nodes_at_includes_multicycle_tails(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s.nodes_at(1) == ["m1"]  # tail of m1
+        assert s.nodes_at(4) == ["m2"]
+
+    def test_with_updates(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        s2 = s.with_updates({"a1": 5})
+        assert s2.start("a1") == 5 and s.start("a1") == 2
+
+
+class TestResourceFeasibility:
+    def test_conflict_detection(self, graph, model):
+        # two mults overlapping on one multiplier
+        s = Schedule(graph, model, {"m1": 0, "m2": 1, "a1": 4})
+        conflicts = s.resource_conflicts()
+        assert len(conflicts) == 1
+        c = conflicts[0]
+        assert c.unit == "mult" and c.cs == 1 and c.used == 2 and c.available == 1
+        assert not s.is_resource_feasible()
+
+    def test_pipelined_units_share(self, graph):
+        model = ResourceModel.adders_mults(1, 1, pipelined_mults=True)
+        s = Schedule(graph, model, {"m1": 0, "m2": 1, "a1": 4})
+        assert s.is_resource_feasible()  # II=1: back-to-back initiations OK
+
+    def test_busy_table(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        table = s.busy_table()
+        assert table[("mult", 0)] == ["m1"]
+        assert table[("mult", 1)] == ["m1"]
+        assert table[("adder", 2)] == ["a1"]
+
+
+class TestPrecedence:
+    def test_dag_violations_zero_delay(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 1, "m2": 5})  # a1 too early
+        bad = s.dag_violations()
+        assert len(bad) == 1 and "m1->a1" in bad[0]
+
+    def test_legal_dag_schedule(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s.is_legal_dag_schedule()
+
+    def test_violations_under_retiming(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        # retiming m2 makes edge a1->m2 zero-delay: a1 finishes at 3 == m2 ok;
+        # and m2->m1 becomes... m2->m1: 1 + 1 - 0 = 2 (fine)
+        r = Retiming.of_set(["m2"])
+        assert s.dag_violations(r) == []
+        # but rotating m1 instead makes m1->a1 still 0 and a1->m2 0 with
+        # r(m1)=1: edge m2->m1 dr = 1+0-1 = 0: m2 finishes 5 > m1 start 0
+        r2 = Retiming.of_set(["m1"])
+        assert any("m2->m1" in v for v in s.dag_violations(r2))
+
+    def test_rows_and_equality(self, graph, model):
+        s = Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s.as_rows() == [(0, ["m1"]), (2, ["a1"]), (3, ["m2"])]
+        assert s == Schedule(graph, model, {"m1": 0, "a1": 2, "m2": 3})
+        assert s != s.shifted(1)

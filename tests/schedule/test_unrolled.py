@@ -1,0 +1,88 @@
+"""Unit tests for the unrolled (global) pipeline view — Figure 4."""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, Schedule, full_schedule, realizing_retiming, unroll
+from repro.suite import diffeq
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def fig2c():
+    """The optimal diffeq schedule (Figure 2-(c)) and its retiming."""
+    g = diffeq()
+    model = ResourceModel.unit_time(1, 1)
+    start = {0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5}
+    sched = Schedule(g, model, start)
+    return sched, realizing_retiming(sched)
+
+
+class TestUnrolling:
+    def test_depth_and_period(self, fig2c):
+        sched, r = fig2c
+        u = unroll(sched, r, 5)
+        assert u.period == 6
+        assert u.depth == 2
+
+    def test_prologue_contains_rotated_nodes(self, fig2c):
+        sched, r = fig2c
+        u = unroll(sched, r, 5)
+        prologue = {(e.node, e.iteration) for e in u.phase_entries("prologue")}
+        assert prologue == {(10, 0), (8, 0), (1, 0)}
+        assert u.prologue_length > 0
+
+    def test_every_iteration_executed_once(self, fig2c):
+        sched, r = fig2c
+        n_iter = 6
+        u = unroll(sched, r, n_iter)
+        count = {}
+        for e in u.entries:
+            count[(e.node, e.iteration)] = count.get((e.node, e.iteration), 0) + 1
+        assert all(c == 1 for c in count.values())
+        assert len(count) == sched.graph.num_nodes * n_iter
+
+    def test_ground_truth_dependences_hold(self, fig2c):
+        sched, r = fig2c
+        u = unroll(sched, r, 8)
+        assert u.dependence_violations() == []
+        assert u.resource_violations() == []
+
+    def test_violations_detected_for_bogus_retiming(self, fig2c):
+        sched, _ = fig2c
+        bogus = Retiming.of_set([9])  # 9 executed an iteration early: wrong
+        u = unroll(sched, bogus, 8)
+        assert u.dependence_violations()
+
+    def test_epilogue_symmetry(self, fig2c):
+        sched, r = fig2c
+        u = unroll(sched, r, 5)
+        epilogue = {(e.node, e.iteration) for e in u.phase_entries("epilogue")}
+        # nodes with r=0 finish iterations the prologue nodes pre-ran
+        assert all(it == 4 for _, it in epilogue)
+        assert len(epilogue) == 8  # the r=0 nodes
+
+    def test_too_few_iterations_rejected(self, fig2c):
+        sched, r = fig2c
+        with pytest.raises(SchedulingError, match="at least depth"):
+            unroll(sched, r, 1)
+
+    def test_unnormalized_retiming_rejected(self, fig2c):
+        sched, _ = fig2c
+        with pytest.raises(SchedulingError, match="normalized"):
+            unroll(sched, Retiming({10: -1}), 5)
+
+    def test_makespan_and_rows(self, fig2c):
+        sched, r = fig2c
+        u = unroll(sched, r, 5)
+        # steady state: one 6-CS body per iteration after the pipeline fills
+        assert u.makespan <= 5 * 6 + u.prologue_length
+        rows = u.rows()
+        assert rows == sorted(rows)
+
+    def test_plain_schedule_unrolls_without_overlap(self, two_cycle, small_model):
+        s = full_schedule(two_cycle, small_model)
+        u = unroll(s, Retiming.zero(), 3)
+        assert u.depth == 1
+        assert u.phase_entries("prologue") == []
+        assert u.dependence_violations() == []

@@ -1,0 +1,76 @@
+"""Unit tests for the pipelined executor and end-to-end verification."""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, Schedule, realizing_retiming
+from repro.core import rotation_schedule
+from repro.sim import PipelineExecutor, verify_pipeline
+from repro.suite import diffeq
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def optimal_diffeq():
+    g = diffeq()
+    model = ResourceModel.unit_time(1, 1)
+    start = {0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5}
+    sched = Schedule(g, model, start)
+    return sched, realizing_retiming(sched)
+
+
+class TestPipelineExecutor:
+    def test_matches_reference(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        report = verify_pipeline(sched, r, iterations=30)
+        assert report.matches_reference
+        assert report.max_abs_error == 0.0
+        assert report.period == 6 and report.depth == 2
+
+    def test_speedup_reported(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        report = verify_pipeline(sched, r, iterations=60)
+        # period 6 vs sequential 8 -> asymptotic 1.33x
+        assert report.speedup_vs_sequential > 1.2
+
+    def test_execution_order_sorted_by_global_cs(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        ex = PipelineExecutor(sched, r)
+        order = ex.execution_order(5)
+        times = [ex.start_time(v, i) for v, i in order]
+        assert times == sorted(times)
+
+    def test_prologue_runs_rotated_nodes_first(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        ex = PipelineExecutor(sched, r)
+        order = ex.execution_order(5)
+        first_nodes = {v for v, i in order[:3]}
+        assert first_nodes == {10, 8, 1}
+
+    def test_bogus_retiming_caught(self, optimal_diffeq):
+        sched, _ = optimal_diffeq
+        with pytest.raises(SimulationError):
+            PipelineExecutor(sched, Retiming.of_set([9])).run(10)
+
+    def test_too_few_iterations(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        with pytest.raises(SimulationError, match="at least depth"):
+            PipelineExecutor(sched, r).run(1)
+
+    def test_negative_retiming_rejected(self, optimal_diffeq):
+        sched, _ = optimal_diffeq
+        with pytest.raises(SimulationError, match="normalized"):
+            PipelineExecutor(sched, Retiming({10: -1}))
+
+    def test_wrapped_schedule_execution(self):
+        """Wrapped schedules execute correctly through from_wrapped."""
+        res = rotation_schedule(diffeq(), ResourceModel.adders_mults(1, 1, pipelined_mults=True))
+        ex = PipelineExecutor.from_wrapped(res.wrapped)
+        report = ex.verify(25)
+        assert report.matches_reference
+        assert report.period == 6
+
+    def test_report_str(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        report = verify_pipeline(sched, r, iterations=10)
+        assert "OK" in str(report)

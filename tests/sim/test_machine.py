@@ -1,0 +1,69 @@
+"""Unit tests for the functional-unit-level machine simulation."""
+
+import pytest
+
+from repro.dfg import Retiming
+from repro.schedule import ResourceModel, Schedule, realizing_retiming
+from repro.core import rotation_schedule
+from repro.sim import MachineSimulator, simulate_machine
+from repro.suite import diffeq, biquad
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def optimal_diffeq():
+    g = diffeq()
+    model = ResourceModel.unit_time(1, 1)
+    start = {0: 0, 10: 0, 3: 1, 8: 1, 2: 2, 5: 2, 4: 3, 7: 4, 6: 4, 1: 5, 9: 5}
+    sched = Schedule(g, model, start)
+    return sched, realizing_retiming(sched)
+
+
+class TestMachineSimulation:
+    def test_clean_run(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        report = simulate_machine(sched, r, iterations=20)
+        assert report.ok
+        assert report.period == 6
+
+    def test_full_multiplier_utilization(self, optimal_diffeq):
+        """6 unit-time mults in a 6-CS period on one multiplier = 100%."""
+        sched, r = optimal_diffeq
+        report = simulate_machine(sched, r, iterations=20)
+        assert report.utilization["mult"].utilization == pytest.approx(1.0)
+        # 5 adds in 6 slots
+        assert report.utilization["adder"].utilization == pytest.approx(5 / 6)
+
+    def test_hazard_detection(self):
+        """An over-subscribed schedule reports structural hazards."""
+        g = diffeq()
+        model = ResourceModel.unit_time(1, 1)
+        # all multiplies in the same CS: impossible on one multiplier
+        start = {v: 0 for v in g.nodes}
+        sched = Schedule(g, model, start)
+        report = simulate_machine(sched, Retiming.zero(), iterations=4, period=1)
+        assert not report.ok
+        assert any("structural hazard" in h for h in report.hazards)
+
+    def test_needs_enough_iterations(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        with pytest.raises(SimulationError, match="steady state"):
+            MachineSimulator(sched, r).run(2)
+
+    def test_summary_text(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        report = simulate_machine(sched, r, iterations=20)
+        text = report.summary()
+        assert "adder" in text and "mult" in text and "clean" in text
+
+    def test_wrapped_schedule_machine(self):
+        res = rotation_schedule(biquad(), ResourceModel.adders_mults(2, 2, pipelined_mults=True))
+        report = simulate_machine(
+            res.schedule, res.retiming, iterations=20, period=res.length
+        )
+        assert report.ok
+
+    def test_nonpositive_period_rejected(self, optimal_diffeq):
+        sched, r = optimal_diffeq
+        with pytest.raises(SimulationError):
+            MachineSimulator(sched, r, period=0)

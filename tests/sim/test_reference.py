@@ -1,0 +1,71 @@
+"""Unit tests for the reference (sequential) executor."""
+
+import math
+
+import pytest
+
+from repro.dfg import DFG
+from repro.sim import ReferenceExecutor, reference_run
+from repro.suite import diffeq
+from repro.errors import SimulationError
+
+
+class TestReferenceExecution:
+    def test_diffeq_matches_hand_computed_loop(self):
+        """The DFG semantics must equal the paper's behavioural loop."""
+        from repro.suite.diffeq import DEFAULT_PARAMS
+
+        p = DEFAULT_PARAMS
+        dx, a = p["dx"], p["a"]
+        x, u, y = p["x0"], p["u0"], p["y0"]
+        n = 25
+        expected_y = []
+        for _ in range(n):
+            x1 = x + dx
+            u1 = u - (3 * x * u * dx) - (3 * y * dx)
+            y1 = y + u * dx
+            x, u, y = x1, u1, y1
+            expected_y.append(y)
+        streams = reference_run(diffeq(), n)
+        for got, want in zip(streams[9], expected_y):  # node 9 is y1
+            assert math.isclose(got, want, rel_tol=1e-12)
+
+    def test_initial_values_consumed_in_order(self):
+        g = DFG()
+        g.add_node("src", "add", func=lambda x: x)
+        g.add_edge("src", "src", 3, init=[10.0, 20.0, 30.0])
+        streams = reference_run(g, 5)
+        # iteration i < 3 reads init[i]; afterwards its own output 3 back
+        assert streams["src"] == [10.0, 20.0, 30.0, 10.0, 20.0]
+
+    def test_missing_init_defaults_to_zero(self):
+        g = DFG()
+        g.add_node("n", "add", func=lambda x: x + 1)
+        g.add_edge("n", "n", 1)
+        assert reference_run(g, 3)["n"] == [1.0, 2.0, 3.0]
+
+    def test_missing_func_rejected(self):
+        g = DFG()
+        g.add_node("n", "add")
+        with pytest.raises(SimulationError, match="no func"):
+            ReferenceExecutor(g)
+
+    def test_negative_iterations_rejected(self):
+        g = DFG()
+        g.add_node("n", "add", func=lambda: 1.0)
+        with pytest.raises(SimulationError):
+            ReferenceExecutor(g).run(-1)
+
+    def test_zero_iterations(self):
+        g = DFG()
+        g.add_node("n", "add", func=lambda: 1.0)
+        assert ReferenceExecutor(g).run(0) == {"n": []}
+
+    def test_operand_order_is_edge_insertion_order(self):
+        g = DFG()
+        g.add_node("a", "add", func=lambda: 2.0)
+        g.add_node("b", "add", func=lambda: 3.0)
+        g.add_node("sub", "sub", func=lambda x, y: x - y)
+        g.add_edge("a", "sub", 0)
+        g.add_edge("b", "sub", 0)
+        assert reference_run(g, 1)["sub"] == [-1.0]

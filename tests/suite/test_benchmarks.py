@@ -1,0 +1,56 @@
+"""Benchmark graphs pinned to the paper's Table 1, cell by cell."""
+
+import pytest
+
+from repro.dfg import assert_valid, critical_path_length, iteration_bound_ceil
+from repro.suite import BENCHMARKS, PAPER_TIMING, all_benchmarks, get_benchmark
+
+
+class TestTable1:
+    @pytest.mark.parametrize("key", list(BENCHMARKS))
+    def test_characteristics(self, key):
+        info = BENCHMARKS[key]
+        g = info.build()
+        hist = g.ops_histogram()
+        mults = hist.get("mul", 0)
+        adds = g.num_nodes - mults
+        assert mults == info.mults, f"{key}: mult count"
+        assert adds == info.adds, f"{key}: adder-class count"
+        assert critical_path_length(g, PAPER_TIMING) == info.critical_path, f"{key}: CP"
+        assert iteration_bound_ceil(g, PAPER_TIMING) == info.iteration_bound, f"{key}: IB"
+
+    @pytest.mark.parametrize("key", list(BENCHMARKS))
+    def test_structurally_valid(self, key):
+        assert_valid(get_benchmark(key), PAPER_TIMING)
+
+    def test_registry_lookups(self):
+        assert get_benchmark("diffeq").name == "diffeq"
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            get_benchmark("fft")
+        assert len(all_benchmarks()) == 5
+
+    @pytest.mark.parametrize("key", list(BENCHMARKS))
+    def test_fresh_instances(self, key):
+        a, b = get_benchmark(key), get_benchmark(key)
+        assert a is not b
+        a.add_node("__extra__", "add")
+        assert "__extra__" not in get_benchmark(key)
+
+    @pytest.mark.parametrize("key", list(BENCHMARKS))
+    def test_simulatable(self, key):
+        """Every benchmark node carries semantics and every delayed edge has
+        initial values — required by the execution simulator."""
+        g = get_benchmark(key)
+        for v in g.nodes:
+            assert g.func(v) is not None, f"{key}:{v} missing func"
+        for e in g.edges:
+            if e.delay:
+                assert g.edge_init(e) is not None, f"{key}: {e} missing init"
+
+    def test_diffeq_rotatable_sets_match_paper(self):
+        from repro.dfg import is_down_rotatable
+
+        g = get_benchmark("diffeq")
+        assert is_down_rotatable(g, [10])
+        assert is_down_rotatable(g, [10, 8, 1])
+        assert not is_down_rotatable(g, [8, 1])

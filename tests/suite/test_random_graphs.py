@@ -1,0 +1,82 @@
+"""Unit tests for the synthetic graph generators."""
+
+import pytest
+
+from repro.dfg import assert_valid, is_zero_delay_acyclic, iteration_bound, Timing
+from repro.suite import random_chain_loop, random_dfg, random_dsp_kernel
+
+
+class TestRandomDfg:
+    def test_deterministic_per_seed(self):
+        a = random_dfg(25, seed=7)
+        b = random_dfg(25, seed=7)
+        assert a.nodes == b.nodes
+        assert [(e.src, e.dst, e.delay) for e in a.edges] == [
+            (e.src, e.dst, e.delay) for e in b.edges
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_dfg(25, seed=1)
+        b = random_dfg(25, seed=2)
+        assert [(e.src, e.dst, e.delay) for e in a.edges] != [
+            (e.src, e.dst, e.delay) for e in b.edges
+        ]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_always_legal(self, seed):
+        g = random_dfg(30, seed=seed)
+        assert is_zero_delay_acyclic(g)
+        assert_valid(g)
+
+    def test_no_isolated_nodes(self):
+        for seed in range(5):
+            g = random_dfg(20, seed=seed, forward_density=0.01, backward_density=0.01)
+            for v in g.nodes:
+                assert g.in_edges(v) or g.out_edges(v)
+
+    def test_size_bounds(self):
+        with pytest.raises(ValueError):
+            random_dfg(1)
+
+    def test_op_selection(self):
+        g = random_dfg(40, seed=3, ops=("add",))
+        assert set(g.ops_histogram()) == {"add"}
+
+
+class TestChainLoop:
+    def test_structure(self):
+        g = random_chain_loop(num_stages=3, stage_len=4, seed=1)
+        assert g.num_nodes == 12
+        assert is_zero_delay_acyclic(g)
+        # ring closes: total delay equals the number of stages
+        assert g.total_delay() == 3
+
+    def test_iteration_bound_scales_with_stage(self):
+        g = random_chain_loop(num_stages=4, stage_len=3, seed=0)
+        bound = iteration_bound(g, Timing.unit())
+        assert bound >= 1
+
+
+class TestDspKernel:
+    @pytest.mark.parametrize("recursive", [True, False])
+    def test_valid_and_simulatable(self, recursive):
+        g = random_dsp_kernel(5, seed=2, recursive=recursive)
+        assert_valid(g)
+        for v in g.nodes:
+            assert g.func(v) is not None
+
+    def test_recursive_adds_feedback(self):
+        g = random_dsp_kernel(4, seed=0, recursive=True)
+        assert "fb" in g
+        assert g.total_delay() > 4
+
+    def test_min_taps(self):
+        with pytest.raises(ValueError):
+            random_dsp_kernel(1)
+
+    def test_reference_executable(self):
+        from repro.sim import reference_run
+
+        g = random_dsp_kernel(4, seed=5)
+        streams = reference_run(g, 10)
+        assert all(len(s) == 10 for s in streams.values())

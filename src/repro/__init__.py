@@ -32,6 +32,7 @@ from repro.schedule import (
     realizing_retiming,
 )
 from repro.core import (
+    RotationEngine,
     RotationResult,
     RotationScheduler,
     RotationState,
@@ -92,6 +93,7 @@ __all__ = [
     "RetimingError",
     "RotationError",
     "RotationResult",
+    "RotationEngine",
     "RotationScheduler",
     "RotationState",
     "Schedule",

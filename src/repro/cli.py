@@ -66,9 +66,18 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
     result = rotation_schedule(
-        graph, model, heuristic=args.heuristic, beta=args.beta, priority=args.priority
+        graph,
+        model,
+        heuristic=args.heuristic,
+        beta=args.beta,
+        priority=args.priority,
+        use_engine=not args.no_engine,
+        workers=args.workers,
     )
     print(result.summary())
+    if args.engine_stats and result.engine_stats is not None:
+        stats = ", ".join(f"{k}={v}" for k, v in result.engine_stats.items() if v)
+        print(f"engine: {stats}")
     print()
     print(render_schedule(result.schedule, model, retiming=result.retiming))
     if args.gantt:
@@ -119,7 +128,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    result = rotation_schedule(
+        graph,
+        model,
+        heuristic=args.heuristic,
+        beta=args.beta,
+        priority=args.priority,
+        use_engine=not args.no_engine,
+        workers=args.workers,
+    )
     print(result.summary())
     report = verify_pipeline(
         result.schedule, result.retiming, iterations=args.iterations, period=result.length
@@ -154,7 +171,15 @@ def cmd_emit(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    result = rotation_schedule(
+        graph,
+        model,
+        heuristic=args.heuristic,
+        beta=args.beta,
+        priority=args.priority,
+        use_engine=not args.no_engine,
+        workers=args.workers,
+    )
     report = emit_datapath(
         result.wrapped,
         module_name=args.module or (graph.name or "pipeline").replace("-", "_"),
@@ -171,7 +196,15 @@ def cmd_svg(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+    result = rotation_schedule(
+        graph,
+        model,
+        heuristic=args.heuristic,
+        beta=args.beta,
+        priority=args.priority,
+        use_engine=not args.no_engine,
+        workers=args.workers,
+    )
     svg = schedule_svg(
         result.schedule,
         result.retiming,
@@ -209,10 +242,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--heuristic", choices=["h1", "h2"], default="h2")
         p.add_argument("--beta", type=int, default=None, help="rotations per phase")
         p.add_argument("--priority", default="descendants")
+        p.add_argument(
+            "--workers",
+            type=int,
+            default=None,
+            help="process pool size for heuristic 1's independent phases",
+        )
+        p.add_argument(
+            "--no-engine",
+            action="store_true",
+            help="disable the incremental rotation engine (recompute everything)",
+        )
 
     p = sub.add_parser("schedule", help="rotation-schedule a DFG and print the table")
     add_common(p)
     p.add_argument("--gantt", action="store_true", help="also print a unit-lane Gantt chart")
+    p.add_argument(
+        "--engine-stats", action="store_true", help="print the engine's cache counters"
+    )
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("inspect", help="print a DFG's characteristics")

@@ -1,5 +1,6 @@
 """Rotation scheduling core: rotations, phases, heuristics, depth, wrapping."""
 
+from repro.core.engine import EngineStats, RotationEngine, ViewCache
 from repro.core.rotation import RotationState, RotationStep
 from repro.core.phases import (
     HEURISTICS,
@@ -32,6 +33,9 @@ __all__ = [
     "HEURISTICS",
     "BestTracker",
     "ChainedRotationState",
+    "EngineStats",
+    "RotationEngine",
+    "ViewCache",
     "NestedModel",
     "NestedRotationState",
     "NestedSchedule",

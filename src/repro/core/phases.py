@@ -22,11 +22,13 @@ graphs it coincides with the span.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.dfg.graph import DFG
 from repro.dfg.retiming import Retiming
 from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.core.engine import RotationEngine, strip_funcs
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule, wrap
 
@@ -63,11 +65,36 @@ class BestTracker:
 
     @staticmethod
     def _key(state: RotationState) -> Tuple:
-        sched = state.schedule.normalized()
-        return (
-            frozenset(sched.start_map.items()),
-            frozenset(state.retiming.items_nonzero()),
-        )
+        # Normalized start times + rotation counts in node order — the same
+        # identity the old frozenset pair expressed, but cached on the state
+        # (states are immutable) and cheaper to build and hash.
+        return state.fingerprint()
+
+    def merge(self, other: "BestTracker") -> None:
+        """Fold another tracker in, as if its offers had been made here.
+
+        Used by the parallel :func:`heuristic_1` path: each worker tracks
+        its own phase, and merging the workers' trackers *in phase order*
+        reproduces the sequential tracker exactly (a worker tracker with
+        the same cap never drops an entry the sequential run would have
+        kept, because its duplicates of already-seen schedules only ever
+        shrink its entry list relative to the merged one).
+        """
+        self.offers += other.offers
+        if other.length is None:
+            return
+        if self.length is None or other.length < self.length:
+            self.length = other.length
+            self.entries = list(other.entries[: self.cap])
+            self._seen = {self._key(s) for s, _ in self.entries}
+        elif other.length == self.length:
+            for state, wrapped in other.entries:
+                if len(self.entries) >= self.cap:
+                    break
+                key = self._key(state)
+                if key not in self._seen:
+                    self._seen.add(key)
+                    self.entries.append((state, wrapped))
 
     @property
     def best_state(self) -> RotationState:
@@ -98,6 +125,85 @@ def rotation_phase(
     return state
 
 
+def _h1_phase_worker(payload) -> BestTracker:
+    """Run one heuristic-1 phase in a worker process.
+
+    Rebuilds the (deterministic) initial schedule locally rather than
+    shipping it, and does *not* offer it — the parent offers the initial
+    state exactly once, like the sequential path.
+    """
+    graph, model, priority, size, beta, cap, use_engine = payload
+    state = RotationState.initial(
+        graph, model, priority, engine=None if use_engine else False
+    )
+    local = BestTracker(cap=cap)
+    rotation_phase(state, size, beta, local)
+    return local
+
+
+def _rebind_tracker(
+    tracker: BestTracker, graph: DFG, model: ResourceModel, priority
+) -> BestTracker:
+    """Re-anchor a worker tracker's states onto the caller's graph object.
+
+    Workers schedule a func-stripped copy of the graph (node callables do
+    not pickle and never affect scheduling); start times and retimings are
+    identical, so rebuilding each state on the original graph and
+    re-wrapping reproduces the sequential tracker's entries bit for bit.
+    """
+    out = BestTracker(cap=tracker.cap)
+    out.offers = tracker.offers
+    out.length = tracker.length
+    for state, _wrapped in tracker.entries:
+        rebound = RotationState(
+            graph,
+            model,
+            state.retiming,
+            Schedule(graph, model, state.schedule.start_map, state.schedule.unit_map),
+            priority,
+            state.trace,
+        )
+        out.entries.append((rebound, wrap(rebound.schedule, rebound.retiming)))
+        out._seen.add(BestTracker._key(rebound))
+    return out
+
+
+def _run_phases_parallel(
+    graph: DFG,
+    model: ResourceModel,
+    priority,
+    beta: int,
+    cap: int,
+    sizes: Sequence[int],
+    workers: int,
+    use_engine: bool,
+) -> Optional[List[BestTracker]]:
+    """Run independent phases across processes; None when the pool or the
+    payload cannot be used (caller falls back to the sequential loop)."""
+    import pickle
+
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        payload_graph = strip_funcs(graph)
+        # Fail fast on unpicklable models/priorities before spawning.
+        pickle.dumps((payload_graph, model, priority))
+        results: List[Optional[BestTracker]] = [None] * len(sizes)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(
+                    _h1_phase_worker,
+                    (payload_graph, model, priority, size, beta, cap, use_engine),
+                ): i
+                for i, size in enumerate(sizes)
+            }
+            for future, i in futures.items():
+                results[i] = future.result()
+        return results  # type: ignore[return-value]
+    except Exception:
+        return None
+
+
 def heuristic_1(
     graph: DFG,
     model: ResourceModel,
@@ -105,6 +211,8 @@ def heuristic_1(
     sigma: Optional[int] = None,
     priority="descendants",
     cap: int = 64,
+    engine=None,
+    workers: Optional[int] = None,
 ) -> BestTracker:
     """Independent phases of sizes ``1..sigma``, each from the initial
     schedule of the original DFG (rotation function reset to zero).
@@ -116,15 +224,33 @@ def heuristic_1(
         sigma: largest phase size (default: initial schedule length - 1).
         priority: list-scheduling priority.
         cap: max number of tied-optimal schedules retained.
+        engine: ``None`` shares one :class:`RotationEngine` across phases,
+            ``False`` runs cache-free, or pass a prebuilt engine.
+        workers: run the (independent) phases in a process pool of this
+            size; results are merged in phase order, so the outcome is
+            identical to the sequential run.  Falls back to sequential
+            execution when multiprocessing is unavailable.
     """
-    initial = RotationState.initial(graph, model, priority)
+    use_engine = engine is not False
+    if engine is None:
+        engine = RotationEngine(graph, model, priority)
+    initial = RotationState.initial(graph, model, priority, engine=engine)
     best = BestTracker(cap=cap)
     best.offer(initial)
     if beta is None:
         beta = max(8, 2 * graph.num_nodes)
     if sigma is None:
         sigma = max(1, initial.length - 1)
-    for size in range(1, sigma + 1):
+    sizes = list(range(1, sigma + 1))
+    if workers is not None and workers > 1 and len(sizes) > 1:
+        trackers = _run_phases_parallel(
+            graph, model, priority, beta, cap, sizes, workers, use_engine
+        )
+        if trackers is not None:
+            for tracker in trackers:
+                best.merge(_rebind_tracker(tracker, graph, model, priority))
+            return best
+    for size in sizes:
         rotation_phase(initial, size, beta, best)
     return best
 
@@ -136,10 +262,21 @@ def heuristic_2(
     sigma: Optional[int] = None,
     priority="descendants",
     cap: int = 64,
+    engine=None,
+    workers: Optional[int] = None,
 ) -> BestTracker:
     """Cascaded phases in decreasing size order with ``FullSchedule(G_R)``
-    re-seeding between phases (the paper's reported heuristic)."""
-    state = RotationState.initial(graph, model, priority)
+    re-seeding between phases (the paper's reported heuristic).
+
+    ``engine`` is shared across re-seedings (its per-retiming view cache
+    makes the re-seed schedules nearly free when a retiming recurs);
+    ``workers`` is accepted for signature parity with :func:`heuristic_1`
+    but ignored — the phases form a chain and cannot run concurrently.
+    """
+    del workers  # phases are sequentially dependent
+    if engine is None:
+        engine = RotationEngine(graph, model, priority)
+    state = RotationState.initial(graph, model, priority, engine=engine)
     best = BestTracker(cap=cap)
     best.offer(state)
     if beta is None:
@@ -149,7 +286,9 @@ def heuristic_2(
     for size in range(sigma, 0, -1):
         state = rotation_phase(state, size, beta, best)
         # Re-seed the next phase from a fresh list schedule of G_R.
-        state = RotationState.initial(graph, model, priority, retiming=state.retiming)
+        state = RotationState.initial(
+            graph, model, priority, retiming=state.retiming, engine=engine
+        )
         best.offer(state)
     return best
 

@@ -17,10 +17,18 @@ the paper's ``DownRotate(G, s, i)``:
 States are immutable: each rotation returns a fresh state, so heuristics
 can keep several candidate schedules (the paper's set ``Q``) without
 copying anything by hand.
+
+By default a state carries a :class:`repro.core.engine.RotationEngine`
+that accelerates rotations with incrementally maintained caches (the
+``dr`` map, zero-delay adjacency, priority tables, occupancy deltas); the
+engine is pure acceleration — pass ``engine=False`` to
+:meth:`RotationState.initial` for the recompute-everything path, which the
+parity suite pins bit for bit against the engine.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -34,6 +42,7 @@ from repro.dfg.analysis import (
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.schedule.list_scheduler import OccupancyGrid, full_schedule, partial_schedule
+from repro.core.engine import RotationEngine
 from repro.errors import RotationError
 
 
@@ -60,6 +69,10 @@ class RotationState:
             it is a legal DAG schedule of ``G_R``.
         priority: list-scheduling priority used for rescheduling.
         trace: rotation steps performed so far.
+        engine: optional :class:`RotationEngine` accelerating rotations on
+            this state (excluded from equality and pickling).
+        engine_token: engine-internal tag of the occupancy grid matching
+            this schedule; ``None`` means the next rotation reseeds.
     """
 
     graph: DFG
@@ -68,6 +81,8 @@ class RotationState:
     schedule: Schedule
     priority: object = "descendants"
     trace: Tuple[RotationStep, ...] = ()
+    engine: Optional[RotationEngine] = field(default=None, compare=False, repr=False)
+    engine_token: Optional[int] = field(default=None, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -77,11 +92,61 @@ class RotationState:
         model: ResourceModel,
         priority="descendants",
         retiming: Optional[Retiming] = None,
+        engine=None,
     ) -> "RotationState":
-        """Start from ``FullSchedule(G_r)`` (list scheduling, paper default)."""
+        """Start from ``FullSchedule(G_r)`` (list scheduling, paper default).
+
+        Args:
+            engine: ``None`` (default) attaches a fresh
+                :class:`RotationEngine`; an existing engine instance shares
+                its caches (heuristics reuse one across re-seedings);
+                ``False`` selects the cache-free naive path.
+        """
         r = retiming if retiming is not None else Retiming.zero()
+        if engine is None:
+            engine = RotationEngine(graph, model, priority)
+        if isinstance(engine, RotationEngine):
+            if not (
+                engine.graph is graph
+                and engine.model is model
+                and engine.priority == priority
+            ):
+                raise RotationError(
+                    "engine was built for a different (graph, model, priority)"
+                )
+            return engine.initial_state(r)
         sched = full_schedule(graph, model, r, priority).normalized()
         return cls(graph, model, r, sched, priority)
+
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        # Engines hold process-local caches; states pickle without them
+        # (worker processes rebuild their own).
+        state = dict(self.__dict__)
+        state["engine"] = None
+        state["engine_token"] = None
+        return state
+
+    def __setstate__(self, state):
+        for k, v in state.items():
+            object.__setattr__(self, k, v)
+
+    def fingerprint(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Cheap identity key: normalized start times and rotation counts in
+        node order.  Two states compare equal under this key exactly when
+        they have the same normalized schedule and the same retiming (the
+        key :class:`repro.core.phases.BestTracker` dedups on)."""
+        fp = self.__dict__.get("_fp")
+        if fp is None:
+            sched = self.schedule
+            lo = sched.first_cs
+            r = self.retiming
+            fp = (
+                tuple(sched.start(v) - lo for v in self.graph.nodes),
+                tuple(r[v] for v in self.graph.nodes),
+            )
+            object.__setattr__(self, "_fp", fp)
+        return fp
 
     # ------------------------------------------------------------------
     @property
@@ -109,6 +174,8 @@ class RotationState:
             raise RotationError(
                 f"rotation of size {size} is illegal on a schedule of length {self.length}"
             )
+        if self.engine is not None and self.engine.compatible_with(self):
+            return self.engine.down_rotate(self, size)
         sched = self.schedule.normalized()
         moved = self.rotated_prefix(size)
         if not is_down_rotatable(self.graph, moved, self.retiming):
@@ -147,6 +214,7 @@ class RotationState:
             new_sched,
             self.priority,
             self.trace + (step,),
+            engine=self.engine,
         )
 
     # ------------------------------------------------------------------
@@ -181,6 +249,7 @@ class RotationState:
             new_sched,
             self.priority,
             self.trace + (step,),
+            engine=self.engine,
         )
 
 
@@ -210,11 +279,12 @@ def _latest_fit_reschedule(
         v: sum(1 for w in zero_delay_successors(graph, v, r) if w in moved_set)
         for v in moved_set
     }
-    ready = [v for v in moved_set if pending[v] == 0]
     node_index = {v: i for i, v in enumerate(graph.nodes)}
+    nodes_list = graph.nodes
+    ready = [node_index[v] for v in moved_set if pending[v] == 0]
+    heapq.heapify(ready)
     while ready:
-        ready.sort(key=lambda v: node_index[v])
-        v = ready.pop(0)
+        v = nodes_list[heapq.heappop(ready)]
         order.append(v)
         for u in graph.predecessors(v):
             if u in moved_set and pending.get(u, 0) > 0 and any(
@@ -222,7 +292,7 @@ def _latest_fit_reschedule(
             ):
                 pending[u] -= 1
                 if pending[u] == 0:
-                    ready.append(u)
+                    heapq.heappush(ready, node_index[u])
     if len(order) != len(moved_set):
         raise RotationError("cyclic zero-delay dependences inside the rotated suffix")
 

@@ -25,6 +25,7 @@ from repro.dfg.retiming import Retiming
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.schedule.verify import realizing_retiming
+from repro.core.engine import RotationEngine
 from repro.core.phases import HEURISTICS, BestTracker
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule
@@ -48,6 +49,7 @@ class RotationResult:
     rotations_performed: int
     elapsed_seconds: float
     alternates: Tuple[WrappedSchedule, ...] = ()
+    engine_stats: Optional[dict] = None
 
     @property
     def improvement(self) -> int:
@@ -80,6 +82,11 @@ class RotationScheduler:
         sigma: phase-size range (default: initial schedule length - 1).
         priority: list-scheduling priority name or callable.
         cap: number of tied-optimal schedules to retain.
+        use_engine: attach a :class:`RotationEngine` (incremental caches);
+            False selects the recompute-everything path the engine is
+            parity-tested against.
+        workers: process-pool size for heuristic 1's independent phases
+            (ignored by heuristic 2, whose phases form a chain).
     """
 
     def __init__(
@@ -90,6 +97,8 @@ class RotationScheduler:
         sigma: Optional[int] = None,
         priority="descendants",
         cap: int = 64,
+        use_engine: bool = True,
+        workers: Optional[int] = None,
     ):
         if heuristic not in HEURISTICS:
             raise SchedulingError(
@@ -101,11 +110,18 @@ class RotationScheduler:
         self.sigma = sigma
         self.priority = priority
         self.cap = cap
+        self.use_engine = use_engine
+        self.workers = workers
 
     def schedule(self, graph: DFG) -> RotationResult:
         """Run the configured heuristic and post-process the best schedule."""
         t0 = time.perf_counter()
-        initial = RotationState.initial(graph, self.model, self.priority)
+        engine = (
+            RotationEngine(graph, self.model, self.priority)
+            if self.use_engine
+            else False
+        )
+        initial = RotationState.initial(graph, self.model, self.priority, engine=engine)
         best: BestTracker = HEURISTICS[self.heuristic](
             graph,
             self.model,
@@ -113,6 +129,8 @@ class RotationScheduler:
             sigma=self.sigma,
             priority=self.priority,
             cap=self.cap,
+            engine=engine,
+            workers=self.workers,
         )
         elapsed = time.perf_counter() - t0
 
@@ -138,6 +156,7 @@ class RotationScheduler:
             rotations_performed=best.offers - 1,
             elapsed_seconds=elapsed,
             alternates=alternates,
+            engine_stats=engine.stats() if self.use_engine else None,
         )
 
 
@@ -148,8 +167,16 @@ def rotation_schedule(
     beta: Optional[int] = None,
     sigma: Optional[int] = None,
     priority="descendants",
+    use_engine: bool = True,
+    workers: Optional[int] = None,
 ) -> RotationResult:
     """One-call convenience wrapper around :class:`RotationScheduler`."""
     return RotationScheduler(
-        model, heuristic=heuristic, beta=beta, sigma=sigma, priority=priority
+        model,
+        heuristic=heuristic,
+        beta=beta,
+        sigma=sigma,
+        priority=priority,
+        use_engine=use_engine,
+        workers=workers,
     ).schedule(graph)

@@ -17,6 +17,7 @@ wrapped schedule back into an unwrapped one when possible.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -89,6 +90,37 @@ def wrapped_length(schedule: Schedule, retiming: Retiming) -> int:
     return wrap(schedule, retiming).period
 
 
+#: graph -> {id(model): (model, node facts, edge facts, min occupancy)}.
+#: The strong model reference inside the value keeps the id stable for the
+#: lifetime of the entry; the outer keys die with their graphs.
+_WRAP_STATIC: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _wrap_static(graph: DFG, model: ResourceModel):
+    """Schedule-independent inputs of :func:`wrap`, cached per graph+model."""
+    per_graph = _WRAP_STATIC.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _WRAP_STATIC[graph] = per_graph
+    entry = per_graph.get(id(model))
+    if entry is None or entry[0] is not model:
+        min_occ = 1
+        nodes = []
+        for v in graph.nodes:
+            op = graph.op(v)
+            unit = model.unit_for_op(op)
+            if not unit.pipelined and unit.latency > min_occ:
+                min_occ = unit.latency
+            nodes.append((v, tuple(model.busy_offsets(op)), unit.name, unit.count))
+        edges = [
+            (e.src, e.dst, e.delay, model.latency(graph.op(e.src)))
+            for e in graph.edges
+        ]
+        entry = (model, nodes, edges, min_occ)
+        per_graph[id(model)] = entry
+    return entry[1], entry[2], entry[3]
+
+
 def wrap(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:
     """Wrap trailing tails around the cylinder to minimize the period.
 
@@ -100,21 +132,49 @@ def wrap(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:
     sched = schedule.normalized()
     graph, model = sched.graph, sched.model
     span = sched.length
-    starts_span = max(sched.start(v) for v in graph.nodes) + 1
-    min_occ = max(
-        (model.unit_for_op(graph.op(v)).latency
-         for v in graph.nodes
-         if not model.unit_for_op(graph.op(v)).pipelined),
-        default=1,
-    )
-    lo = max(starts_span, min_occ, 1)
     start_map = sched.start_map
+
+    # Per-node and per-edge facts are period-independent (and the graph/
+    # model parts are schedule-independent — cached across calls), so the
+    # period search below is pure integer arithmetic (wrap() runs once per
+    # rotation — it is on the heuristics' hot path).
+    nodes_static, edges_static, min_occ = _wrap_static(graph, model)
+    starts_span = 0
+    node_info = []
+    for v, offsets, name, count in nodes_static:
+        s = start_map[v]
+        if s + 1 > starts_span:
+            starts_span = s + 1
+        node_info.append((s, offsets, name, count))
+    edge_info = [
+        (start_map[src] + lat_src, start_map[dst], delay + retiming[src] - retiming[dst])
+        for src, dst, delay, lat_src in edges_static
+    ]
+
+    lo = max(starts_span, min_occ, 1)
     for period in range(lo, span + 1):
-        if modulo_resource_conflicts(graph, model, start_map, period):
-            continue
-        if modulo_precedence_violations(graph, model, start_map, period, retiming):
-            continue
-        return WrappedSchedule(sched, retiming, period)
+        # Same predicate as modulo_resource_conflicts +
+        # modulo_precedence_violations (which wrap() previously called),
+        # minus the diagnostic strings.
+        counts: Dict[Tuple[str, int], int] = {}
+        ok = True
+        for s, offsets, name, count in node_info:
+            for off in offsets:
+                key = (name, (s + off) % period)
+                c = counts.get(key, 0) + 1
+                if c > count:
+                    ok = False
+                    break
+                counts[key] = c
+            if not ok:
+                break
+        if ok:
+            for lhs, s_dst, dr in edge_info:
+                if lhs > s_dst + period * dr:
+                    ok = False
+                    break
+        if ok:
+            return WrappedSchedule(sched, retiming, period)
     raise SchedulingError(
         f"schedule of span {span} is not modulo-legal at its own span — "
         "the input was not a legal DAG schedule of G_R"

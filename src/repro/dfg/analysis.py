@@ -46,19 +46,76 @@ def zero_delay_predecessors(graph: DFG, node: NodeId, r: Optional[Retiming] = No
     return out
 
 
-def topological_order(graph: DFG, r: Optional[Retiming] = None) -> List[NodeId]:
+def zero_delay_adjacency(
+    graph: DFG,
+    r: Optional[Retiming] = None,
+    dr_map: Optional[Dict[int, int]] = None,
+) -> Tuple[Dict[NodeId, List[NodeId]], Dict[NodeId, List[NodeId]]]:
+    """Both zero-delay adjacency maps of ``Gr`` in one edge pass.
+
+    Returns ``(succs, preds)`` where each maps every node to its distinct
+    zero-delay neighbours in edge-insertion order — entrywise identical to
+    calling :func:`zero_delay_successors` / :func:`zero_delay_predecessors`
+    per node, but without rescanning incident edges for each call.
+
+    ``dr_map`` (edge id -> retimed delay) short-circuits the ``dr``
+    arithmetic when the caller already maintains the per-edge cache (the
+    rotation engine does).
+    """
+    succs: Dict[NodeId, List[NodeId]] = {v: [] for v in graph.nodes}
+    preds: Dict[NodeId, List[NodeId]] = {v: [] for v in graph.nodes}
+    seen_s: Dict[NodeId, set] = {v: set() for v in graph.nodes}
+    seen_p: Dict[NodeId, set] = {v: set() for v in graph.nodes}
+    for e in graph.edges:
+        d = dr_map[e.eid] if dr_map is not None else retimed_delay(e, r)
+        if d == 0:
+            if e.dst not in seen_s[e.src]:
+                seen_s[e.src].add(e.dst)
+                succs[e.src].append(e.dst)
+            if e.src not in seen_p[e.dst]:
+                seen_p[e.dst].add(e.src)
+                preds[e.dst].append(e.src)
+    return succs, preds
+
+
+def topological_order(
+    graph: DFG,
+    r: Optional[Retiming] = None,
+    adj: Optional[Dict[NodeId, List[NodeId]]] = None,
+) -> List[NodeId]:
     """Topological order of the zero-delay DAG of ``Gr``.
+
+    ``adj`` injects a precomputed zero-delay successor map (distinct
+    neighbours, as built by :func:`zero_delay_adjacency`) so callers that
+    maintain one incrementally skip the per-edge ``dr`` arithmetic.
 
     Raises:
         ZeroDelayCycleError: if the zero-delay subgraph has a cycle (the
             retiming/graph admits no static schedule).
     """
-    indeg: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
+    if adj is not None:
+        indeg: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
+        for ws in adj.values():
+            for w in ws:
+                indeg[w] += 1
+        queue = deque(v for v in graph.nodes if indeg[v] == 0)
+        order: List[NodeId] = []
+        while queue:
+            v = queue.popleft()
+            order.append(v)
+            for w in adj[v]:
+                indeg[w] -= 1
+                if indeg[w] == 0:
+                    queue.append(w)
+        if len(order) != graph.num_nodes:
+            raise ZeroDelayCycleError(_find_zero_delay_cycle(graph, r))
+        return order
+    indeg = {v: 0 for v in graph.nodes}
     for e in graph.edges:
         if retimed_delay(e, r) == 0:
             indeg[e.dst] += 1
     queue = deque(v for v in graph.nodes if indeg[v] == 0)
-    order: List[NodeId] = []
+    order = []
     while queue:
         v = queue.popleft()
         order.append(v)
@@ -192,19 +249,41 @@ def critical_path_nodes(
     return path
 
 
-def descendant_counts(graph: DFG, r: Optional[Retiming] = None) -> Dict[NodeId, int]:
+def descendant_reach(
+    graph: DFG,
+    r: Optional[Retiming] = None,
+    adj: Optional[Dict[NodeId, List[NodeId]]] = None,
+    order: Optional[List[NodeId]] = None,
+) -> Dict[NodeId, Set[NodeId]]:
+    """Zero-delay descendant *sets* of every node (reverse-topological
+    accumulation).  ``adj``/``order`` inject a precomputed successor map and
+    topological order; the rotation engine reuses the returned sets when
+    recomputing only a dirty subset after a rotation."""
+    if adj is None:
+        adj = zero_delay_adjacency(graph, r)[0]
+    if order is None:
+        order = topological_order(graph, r, adj=adj)
+    reach: Dict[NodeId, Set[NodeId]] = {v: set() for v in graph.nodes}
+    for v in reversed(order):
+        acc = reach[v]
+        for w in adj[v]:
+            acc.add(w)
+            acc |= reach[w]
+    return reach
+
+
+def descendant_counts(
+    graph: DFG,
+    r: Optional[Retiming] = None,
+    adj: Optional[Dict[NodeId, List[NodeId]]] = None,
+    order: Optional[List[NodeId]] = None,
+) -> Dict[NodeId, int]:
     """Number of distinct zero-delay descendants of each node.
 
     This is the paper's list-scheduling weight function ("the number of
     descendants as the weight of a node in the list").
     """
-    order = topological_order(graph, r)
-    reach: Dict[NodeId, Set[NodeId]] = {v: set() for v in graph.nodes}
-    for v in reversed(order):
-        acc = reach[v]
-        for w in zero_delay_successors(graph, v, r):
-            acc.add(w)
-            acc |= reach[w]
+    reach = descendant_reach(graph, r, adj=adj, order=order)
     return {v: len(reach[v]) for v in graph.nodes}
 
 
@@ -212,15 +291,21 @@ def height_times(
     graph: DFG,
     timing: Optional[Timing] = None,
     r: Optional[Retiming] = None,
+    adj: Optional[Dict[NodeId, List[NodeId]]] = None,
+    order: Optional[List[NodeId]] = None,
 ) -> Dict[NodeId, int]:
     """Longest zero-delay path *from* each node, inclusive of its own time.
 
     A classic alternative list-scheduling priority ("height").
     """
+    if adj is None:
+        adj = zero_delay_adjacency(graph, r)[0]
+    if order is None:
+        order = topological_order(graph, r, adj=adj)
     h: Dict[NodeId, int] = {}
-    for v in reversed(topological_order(graph, r)):
+    for v in reversed(order):
         best = 0
-        for w in zero_delay_successors(graph, v, r):
+        for w in adj[v]:
             best = max(best, h[w])
         h[v] = best + graph.time(v, timing)
     return h

@@ -117,11 +117,21 @@ def iteration_bound_enumerate(graph: DFG, timing: Optional[Timing] = None) -> Fr
 
 
 def critical_cycle(graph: DFG, timing: Optional[Timing] = None) -> Tuple[Fraction, List[NodeId]]:
-    """The maximum-ratio cycle (bound, node sequence); ``(0, [])`` if acyclic."""
+    """The maximum-ratio cycle (bound, node sequence); ``(0, [])`` if acyclic.
+
+    Ties between maximum-ratio cycles are broken by the lexicographically
+    smallest sorted node-name sequence — ``nx.simple_cycles`` iterates
+    hash-ordered sets, so without an explicit tie-break the winner would
+    vary run to run with ``PYTHONHASHSEED``.
+    """
     ratios = cycle_ratios(graph, timing)
     if not ratios:
         return Fraction(0), []
-    return max(ratios, key=lambda rc: rc[0])
+    best = max(r for r, _ in ratios)
+    return min(
+        ((r, c) for r, c in ratios if r == best),
+        key=lambda rc: tuple(sorted(str(v) for v in rc[1])),
+    )
 
 
 def iteration_bound_parametric(graph: DFG, timing: Optional[Timing] = None) -> Fraction:

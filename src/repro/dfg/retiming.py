@@ -29,12 +29,13 @@ class Retiming(Mapping[NodeId, int]):
     unset node returns 0 (every retiming is total over any graph).
     """
 
-    __slots__ = ("_values",)
+    __slots__ = ("_values", "_hash")
 
     def __init__(self, values: Optional[Mapping[NodeId, int]] = None):
         self._values: Dict[NodeId, int] = {
             v: int(k) for v, k in (values or {}).items() if int(k) != 0
         }
+        self._hash: Optional[int] = None
 
     # -- constructors ---------------------------------------------------
     @classmethod
@@ -63,7 +64,11 @@ class Retiming(Mapping[NodeId, int]):
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._values.items()))
+        # Instances are immutable; retiming-keyed caches (the rotation
+        # engine's view cache) hash the same object repeatedly.
+        if self._hash is None:
+            self._hash = hash(frozenset(self._values.items()))
+        return self._hash
 
     # -- algebra ----------------------------------------------------------
     def compose(self, other: "Retiming") -> "Retiming":

@@ -27,7 +27,7 @@ from repro.dfg.graph import DFG, NodeId, Timing
 from repro.dfg.retiming import Retiming
 from repro.dfg.analysis import (
     topological_order,
-    zero_delay_predecessors,
+    zero_delay_adjacency,
     zero_delay_successors,
 )
 from repro.schedule.priorities import get_priority
@@ -159,6 +159,8 @@ def chained_full_schedule(
     priority="descendants",
     fixed: Optional[Mapping[NodeId, ChainedScheduleEntry]] = None,
     floor_time: int = 0,
+    prio_table: Optional[Dict[NodeId, Tuple]] = None,
+    adj: Optional[Tuple[Dict[NodeId, List[NodeId]], Dict[NodeId, List[NodeId]]]] = None,
 ) -> ChainedSchedule:
     """List scheduling with chaining over the zero-delay DAG of ``Gr``.
 
@@ -173,6 +175,11 @@ def chained_full_schedule(
         fixed: pre-placed entries that must not move (the partial form the
             rotation driver uses).
         floor_time: earliest time unit for newly placed operations.
+        prio_table: precomputed priority table for ``Gr`` (the chained
+            rotation driver injects its view cache's table; values must
+            equal what ``priority`` would compute).
+        adj: precomputed ``(zero-delay successors, predecessors)`` maps of
+            ``Gr``, likewise injectable from a cache.
     """
     if cs_length <= 0:
         raise SchedulingError(f"nonpositive control step length {cs_length}")
@@ -182,7 +189,11 @@ def chained_full_schedule(
         if op_units[op] not in unit_counts:
             raise ResourceError(f"unit {op_units[op]!r} has no count")
 
-    prio = get_priority(priority)(graph, timing, r)
+    prio = prio_table if prio_table is not None else get_priority(priority)(graph, timing, r)
+    if adj is None:
+        zsucc, zpred = zero_delay_adjacency(graph, r)
+    else:
+        zsucc, zpred = adj
     node_index = {v: i for i, v in enumerate(graph.nodes)}
 
     # busy[(unit, instance)] = list of (start, finish) intervals, time units
@@ -205,7 +216,7 @@ def chained_full_schedule(
         finish[v] = t0 + dur
     todo = [v for v in graph.nodes if v not in entries]
     pending = {
-        v: sum(1 for u in zero_delay_predecessors(graph, v, r) if u not in entries)
+        v: sum(1 for u in zpred[v] if u not in entries)
         for v in todo
     }
     ready = {v for v in todo if pending[v] == 0}
@@ -214,19 +225,13 @@ def chained_full_schedule(
     while unplaced:
         placed_any = False
         candidates = sorted(
-            (
-                v
-                for v in ready
-                if all(
-                    u in finish for u in zero_delay_predecessors(graph, v, r)
-                )
-            ),
+            (v for v in ready if all(u in finish for u in zpred[v])),
             key=lambda v: (tuple(-x for x in prio[v]), node_index[v]),
         )
         for v in candidates:
             dur = graph.time(v, timing)
             t0 = max(
-                [finish[u] for u in zero_delay_predecessors(graph, v, r)],
+                [finish[u] for u in zpred[v]],
                 default=floor_time,
             )
             t0 = max(t0, floor_time)
@@ -254,7 +259,7 @@ def chained_full_schedule(
             unplaced.discard(v)
             ready.discard(v)
             placed_any = True
-            for w in zero_delay_successors(graph, v, r):
+            for w in zsucc[v]:
                 if w in unplaced:
                     pending[w] -= 1
                     if pending[w] == 0:

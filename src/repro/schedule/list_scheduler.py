@@ -31,11 +31,31 @@ from repro.errors import SchedulingError
 
 
 class OccupancyGrid:
-    """Tracks which unit instances are busy at which control steps."""
+    """Tracks which unit instances are busy at which control steps.
+
+    Grids are reusable across rotations: :meth:`release` frees the slots of
+    a rescheduled node and :meth:`shift` moves the whole grid by a control-
+    step offset in O(1) (the rotation engine's "shift the remaining
+    schedule up" step), so a rotation pays only for the slots it actually
+    touches instead of reseeding from the entire schedule.
+    """
 
     def __init__(self, model: ResourceModel):
         self._model = model
         self._busy: Dict[Tuple[str, int], Set[int]] = {}
+        # Logical CS -> stored key offset; shift() adjusts it instead of
+        # rewriting every key.
+        self._offset = 0
+        # op -> (unit name, instance count, busy offsets) — resolved once.
+        self._opinfo: Dict[str, Tuple[str, int, Tuple[int, ...]]] = {}
+
+    def _info(self, op: str) -> Tuple[str, int, Tuple[int, ...]]:
+        info = self._opinfo.get(op)
+        if info is None:
+            unit = self._model.unit_for_op(op)
+            info = (unit.name, unit.count, tuple(self._model.busy_offsets(op)))
+            self._opinfo[op] = info
+        return info
 
     @classmethod
     def from_schedule(
@@ -66,29 +86,74 @@ class OccupancyGrid:
             grid.occupy(op, cs, inst)
         return grid
 
+    def shift(self, delta: int) -> None:
+        """Move every occupied slot by ``delta`` control steps, in O(1)."""
+        self._offset += delta
+
     def find_instance(self, op: str, cs: int) -> Optional[int]:
         """Lowest unit instance free across all busy offsets, or None."""
-        unit = self._model.unit_for_op(op)
-        offsets = list(self._model.busy_offsets(op))
-        for inst in range(unit.count):
-            if all(inst not in self._busy.get((unit.name, cs + off), ()) for off in offsets):
+        name, count, offsets = self._info(op)
+        base = cs - self._offset
+        busy = self._busy
+        if len(offsets) == 1:
+            slot = busy.get((name, base + offsets[0]), ())
+            for inst in range(count):
+                if inst not in slot:
+                    return inst
+            return None
+        for inst in range(count):
+            if all(inst not in busy.get((name, base + off), ()) for off in offsets):
                 return inst
         return None
 
     def occupy(self, op: str, cs: int, inst: int) -> None:
-        unit = self._model.unit_for_op(op)
-        for off in self._model.busy_offsets(op):
-            slot = self._busy.setdefault((unit.name, cs + off), set())
+        name, _count, offsets = self._info(op)
+        base = cs - self._offset
+        for off in offsets:
+            slot = self._busy.setdefault((name, base + off), set())
             if inst in slot:
                 raise SchedulingError(
-                    f"instance {inst} of {unit.name} double-booked at CS {cs + off}"
+                    f"instance {inst} of {name} double-booked at CS {cs + off}"
                 )
             slot.add(inst)
 
     def release(self, op: str, cs: int, inst: int) -> None:
-        unit = self._model.unit_for_op(op)
-        for off in self._model.busy_offsets(op):
-            self._busy[(unit.name, cs + off)].discard(inst)
+        """Free the slots a node held; a no-op for never-occupied slots."""
+        name, _count, offsets = self._info(op)
+        base = cs - self._offset
+        for off in offsets:
+            slot = self._busy.get((name, base + off))
+            if slot is not None:
+                slot.discard(inst)
+
+
+class SchedulingContext:
+    """Supplies the list scheduler's graph-derived inputs.
+
+    The base implementation recomputes everything per call — the priority
+    table from scratch and zero-delay neighbourhoods by scanning incident
+    edges — which is the paper-faithful but cache-free path.  The rotation
+    engine substitutes a view-backed subclass whose lookups hit per-
+    retiming caches maintained incrementally across rotations.
+    """
+
+    def __init__(self, graph: DFG, model: ResourceModel, r: Optional[Retiming], priority):
+        self.graph = graph
+        self.model = model
+        self.r = r
+        self.priority = priority
+
+    def priority_table(self) -> Dict[NodeId, Tuple]:
+        return get_priority(self.priority)(self.graph, self.model.timing(), self.r)
+
+    def zero_delay_preds(self, node: NodeId) -> List[NodeId]:
+        return zero_delay_predecessors(self.graph, node, self.r)
+
+    def zero_delay_succs(self, node: NodeId) -> List[NodeId]:
+        return zero_delay_successors(self.graph, node, self.r)
+
+    def node_index(self) -> Dict[NodeId, int]:
+        return {v: i for i, v in enumerate(self.graph.nodes)}
 
 
 def _earliest_start(
@@ -115,30 +180,46 @@ def _list_schedule(
     r: Optional[Retiming],
     priority,
     floor_cs: int,
+    ctx: Optional[SchedulingContext] = None,
+    grid: Optional[OccupancyGrid] = None,
 ) -> Schedule:
-    """Core list scheduler: place ``todo`` nodes given fixed placements."""
-    prio_fn = get_priority(priority)
-    prio = prio_fn(graph, model.timing(), r)
-    node_index = {v: i for i, v in enumerate(graph.nodes)}
+    """Core list scheduler: place ``todo`` nodes given fixed placements.
 
-    grid = OccupancyGrid(model)
-    for v, cs in fixed_start.items():
-        inst = fixed_units.get(v)
-        if inst is None:
-            inst = grid.find_instance(graph.op(v), cs)
+    ``ctx`` injects cached graph analyses (the rotation engine's per-
+    retiming views); ``grid`` injects an occupancy grid that already holds
+    the fixed placements, skipping the per-call reseed.  Both default to
+    the recompute-everything behavior.
+    """
+    if ctx is None:
+        ctx = SchedulingContext(graph, model, r, priority)
+    prio = ctx.priority_table()
+    node_index = ctx.node_index()
+    # Sort keys are loop-invariant; resolve them once instead of per sort.
+    sort_key = {
+        v: (tuple(-x for x in prio[v]), node_index[v]) for v in todo
+    }.__getitem__
+
+    if grid is None:
+        grid = OccupancyGrid(model)
+        for v, cs in fixed_start.items():
+            inst = fixed_units.get(v)
             if inst is None:
-                raise SchedulingError(
-                    f"fixed placement infeasible: no {graph.op(v)} unit at CS {cs} for {v!r}"
-                )
-        grid.occupy(graph.op(v), cs, inst)
+                inst = grid.find_instance(graph.op(v), cs)
+                if inst is None:
+                    raise SchedulingError(
+                        f"fixed placement infeasible: no {graph.op(v)} unit at CS {cs} for {v!r}"
+                    )
+            grid.occupy(graph.op(v), cs, inst)
 
     start: Dict[NodeId, int] = dict(fixed_start)
     units: Dict[NodeId, int] = dict(fixed_units)
     todo_set = set(todo)
+    latency = model.latency
+    op_of = graph.op
     # unresolved zero-delay predecessor counts within todo
     pending: Dict[NodeId, int] = {}
     for v in todo_set:
-        preds = zero_delay_predecessors(graph, v, r)
+        preds = ctx.zero_delay_preds(v)
         for u in preds:
             if u not in start and u not in todo_set:
                 raise SchedulingError(
@@ -147,37 +228,51 @@ def _list_schedule(
         pending[v] = sum(1 for u in preds if u in todo_set and u not in start)
 
     ready: Set[NodeId] = {v for v in todo_set if pending[v] == 0}
+    # A node's earliest start is fixed the moment it becomes ready (all its
+    # zero-delay predecessors are placed by then), so compute it once at
+    # ready-entry instead of re-deriving it for every candidate at every CS.
+    est: Dict[NodeId, int] = {}
+    for v in ready:
+        e = floor_cs
+        for u in ctx.zero_delay_preds(v):
+            f = start[u] + latency(op_of(u))
+            if f > e:
+                e = f
+        est[v] = e
     unplaced = set(todo_set)
     cs = floor_cs
     guard = 0
     max_guard = (len(todo) + graph.num_nodes + 2) * (
         max((u.latency for u in model.units), default=1) + 1
-    ) + sum(model.latency(graph.op(v)) for v in todo) + floor_cs + 64
+    ) + sum(latency(op_of(v)) for v in todo) + floor_cs + 64
 
     while unplaced:
         placed_any = False
         # candidates ready by precedence whose earliest start has arrived
-        candidates = [
-            v
-            for v in ready
-            if _earliest_start(graph, model, v, start, r, floor_cs) <= cs
-        ]
-        candidates.sort(key=lambda v: (tuple(-x for x in prio[v]), node_index[v]))
+        candidates = [v for v in ready if est[v] <= cs]
+        candidates.sort(key=sort_key)
         for v in candidates:
-            inst = grid.find_instance(graph.op(v), cs)
+            op = op_of(v)
+            inst = grid.find_instance(op, cs)
             if inst is None:
                 continue
-            grid.occupy(graph.op(v), cs, inst)
+            grid.occupy(op, cs, inst)
             start[v] = cs
             units[v] = inst
             ready.discard(v)
             unplaced.discard(v)
             placed_any = True
-            for w in zero_delay_successors(graph, v, r):
+            for w in ctx.zero_delay_succs(v):
                 if w in unplaced:
                     pending[w] -= 1
                     if pending[w] == 0:
                         ready.add(w)
+                        e = floor_cs
+                        for u in ctx.zero_delay_preds(w):
+                            f = start[u] + latency(op_of(u))
+                            if f > e:
+                                e = f
+                        est[w] = e
         cs += 1
         guard += 1
         if guard > max_guard and not placed_any:

@@ -62,6 +62,10 @@ class Schedule:
         self.model = model
         self._start: Dict[NodeId, int] = dict(start)
         self._units: Dict[NodeId, int] = dict(units or {})
+        # Schedules are immutable, so the span endpoints are computed at
+        # most once (the rotation hot loop reads length constantly).
+        self._first: Optional[int] = None
+        self._last: Optional[int] = None
 
     # -- basic queries -----------------------------------------------------
     def start(self, node: NodeId) -> int:
@@ -86,12 +90,19 @@ class Schedule:
 
     @property
     def first_cs(self) -> int:
-        return min(self._start.values())
+        if self._first is None:
+            self._first = min(self._start.values())
+        return self._first
 
     @property
     def last_cs(self) -> int:
         """Last control step occupied by any computation."""
-        return max(self.finish(v) for v in self.graph.nodes) - 1
+        if self._last is None:
+            latency = self.model.latency
+            op = self.graph.op
+            start = self._start
+            self._last = max(start[v] + latency(op(v)) for v in self.graph.nodes) - 1
+        return self._last
 
     @property
     def length(self) -> int:

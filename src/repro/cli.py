@@ -15,6 +15,10 @@ Subcommands:
   skeleton.
 * ``svg`` — schedule and write an SVG Gantt chart.
 * ``unfold`` — unfold a graph by a factor and write it as JSON.
+* ``fuzz`` — differential fuzzing: push seeded random graphs through
+  every scheduler path and certify them against the oracle stack
+  (``--smoke`` is the bounded pre-merge tier; failures are delta-debugged
+  to minimal repro bundles under ``artifacts/qa/``).
 """
 
 from __future__ import annotations
@@ -62,18 +66,26 @@ def parse_config(text: str) -> Tuple[ResourceModel, str]:
     return model, model.label()
 
 
+def _sched_kwargs(args: argparse.Namespace) -> dict:
+    """Map the shared scheduler flags to ``rotation_schedule`` kwargs.
+
+    Every subcommand that rotation-schedules threads the same flags
+    through this one helper, so the bench matrix exercises exactly the
+    code path the ``schedule`` command reports.
+    """
+    return {
+        "heuristic": args.heuristic,
+        "beta": args.beta,
+        "priority": args.priority,
+        "use_engine": not args.no_engine,
+        "workers": args.workers,
+    }
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(
-        graph,
-        model,
-        heuristic=args.heuristic,
-        beta=args.beta,
-        priority=args.priority,
-        use_engine=not args.no_engine,
-        workers=args.workers,
-    )
+    result = rotation_schedule(graph, model, **_sched_kwargs(args))
     print(result.summary())
     if args.engine_stats and result.engine_stats is not None:
         stats = ", ".join(f"{k}={v}" for k, v in result.engine_stats.items() if v)
@@ -106,7 +118,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     for cfg in args.resources:
         model, label = parse_config(cfg)
         lb = combined_lower_bound(graph, model)
-        result = rotation_schedule(graph, model, heuristic=args.heuristic, beta=args.beta)
+        result = rotation_schedule(graph, model, **_sched_kwargs(args))
         row: List[object] = [label, lb.combined, f"{result.length} ({result.depth})"]
         if args.baselines:
             from repro.baselines import dag_list_schedule, modulo_schedule, retime_then_schedule
@@ -128,15 +140,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(
-        graph,
-        model,
-        heuristic=args.heuristic,
-        beta=args.beta,
-        priority=args.priority,
-        use_engine=not args.no_engine,
-        workers=args.workers,
-    )
+    result = rotation_schedule(graph, model, **_sched_kwargs(args))
     print(result.summary())
     report = verify_pipeline(
         result.schedule, result.retiming, iterations=args.iterations, period=result.length
@@ -171,15 +175,7 @@ def cmd_emit(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(
-        graph,
-        model,
-        heuristic=args.heuristic,
-        beta=args.beta,
-        priority=args.priority,
-        use_engine=not args.no_engine,
-        workers=args.workers,
-    )
+    result = rotation_schedule(graph, model, **_sched_kwargs(args))
     report = emit_datapath(
         result.wrapped,
         module_name=args.module or (graph.name or "pipeline").replace("-", "_"),
@@ -196,15 +192,7 @@ def cmd_svg(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
-    result = rotation_schedule(
-        graph,
-        model,
-        heuristic=args.heuristic,
-        beta=args.beta,
-        priority=args.priority,
-        use_engine=not args.no_engine,
-        workers=args.workers,
-    )
+    result = rotation_schedule(graph, model, **_sched_kwargs(args))
     svg = schedule_svg(
         result.schedule,
         result.retiming,
@@ -214,6 +202,27 @@ def cmd_svg(args: argparse.Namespace) -> int:
     save_svg(svg, args.output)
     print(f"wrote {args.output} (II {result.length}, depth {result.depth})")
     return 0
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.qa import run_fuzz, smoke_cases
+
+    if args.smoke:
+        cases = smoke_cases()
+    else:
+        from repro.qa import grid_cases
+
+        cases = grid_cases(seeds=range(args.seed_base, args.seed_base + args.seeds))
+    report = run_fuzz(
+        cases,
+        budget_seconds=args.budget,
+        max_cells=args.max_cells,
+        out_dir=args.out,
+    )
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  FAIL {failure.case.tag()}: {failure.failures[0].oracle} -> {failure.bundle_path}")
+    return 0 if not report.failures else 1
 
 
 def cmd_unfold(args: argparse.Namespace) -> int:
@@ -236,9 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
-        p.add_argument("-r", "--resources", default="2A2M", help="config like 3A2M / 2A1Mp")
+    def add_sched_flags(p: argparse.ArgumentParser) -> None:
+        # One definition for every subcommand that rotation-schedules —
+        # cmd code consumes these via _sched_kwargs.
         p.add_argument("--heuristic", choices=["h1", "h2"], default="h2")
         p.add_argument("--beta", type=int, default=None, help="rotations per phase")
         p.add_argument("--priority", default="descendants")
@@ -253,6 +262,11 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable the incremental rotation engine (recompute everything)",
         )
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+        p.add_argument("-r", "--resources", default="2A2M", help="config like 3A2M / 2A1Mp")
+        add_sched_flags(p)
 
     p = sub.add_parser("schedule", help="rotation-schedule a DFG and print the table")
     add_common(p)
@@ -269,8 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run one graph across resource configs")
     p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
     p.add_argument("resources", nargs="+", help="configs like 3A3M 2A1Mp ...")
-    p.add_argument("--heuristic", choices=["h1", "h2"], default="h2")
-    p.add_argument("--beta", type=int, default=None)
+    add_sched_flags(p)
     p.add_argument("--baselines", action="store_true", help="include baseline columns")
     p.set_defaults(func=cmd_bench)
 
@@ -297,6 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p)
     p.add_argument("-o", "--output", default="schedule.svg")
     p.set_defaults(func=cmd_svg)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: certify scheduler paths against the oracle stack",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fixed-seed pre-merge tier (>= 200 cells, bounded runtime)",
+    )
+    p.add_argument("--seeds", type=int, default=3, help="seeds per generator cell")
+    p.add_argument("--seed-base", type=int, default=0, help="first seed of the range")
+    p.add_argument(
+        "--budget", type=float, default=None, help="wall-clock budget in seconds"
+    )
+    p.add_argument("--max-cells", type=int, default=None, help="stop after N cells")
+    p.add_argument(
+        "--out", default="artifacts/qa", help="directory for minimized repro bundles"
+    )
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("unfold", help="unfold a graph and save it as JSON")
     p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")

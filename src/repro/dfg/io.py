@@ -1,8 +1,17 @@
 """Serialization of data-flow graphs: JSON, edge-list text, and DOT.
 
-The JSON format is the canonical round-trippable form.  The edge-list text
-format mirrors how HLS benchmark netlists circulate (one edge per line),
-and DOT is for eyeballing graphs with graphviz.
+The JSON format is the canonical *lossless* round-trippable form: node
+ops, explicit times, labels, free-form attrs, edge delays and declared
+initial register contents all survive ``loads(dumps(g))``, and node ids
+keep their type (tuple ids produced by :mod:`repro.dfg.unfold` decode
+back to tuples, so ``fold_node`` works on a reloaded graph).  Node
+callables (``func``) are the one intentional exception — attach them
+again after loading (``repro.suite.random_graphs.rebuild_funcs`` does
+this for graphs carrying the qa coefficient attrs).
+
+The edge-list text format mirrors how HLS benchmark netlists circulate
+(one edge per line, ids become strings); it carries edge inits but not
+node attrs.  DOT is for eyeballing graphs with graphviz.
 """
 
 from __future__ import annotations
@@ -13,36 +22,49 @@ from typing import Any, Dict, List, Optional
 from repro.dfg.graph import DFG, NodeId
 from repro.errors import GraphError
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
 
 
 def to_json_dict(graph: DFG) -> Dict[str, Any]:
-    """A JSON-serializable dict capturing structure, ops, times and labels.
+    """A JSON-serializable dict capturing structure, ops, times, labels,
+    attrs and edge initial values.
 
     Node callables (``func``) are intentionally not serialized.
     """
+    nodes = []
+    for v in graph.nodes:
+        nd: Dict[str, Any] = {
+            "id": _encode_id(v),
+            "op": graph.op(v),
+            "time": graph.explicit_time(v),
+            "label": graph.label(v) if graph.label(v) != str(v) else None,
+        }
+        attrs = graph.attrs(v)
+        if attrs:
+            nd["attrs"] = attrs
+        nodes.append(nd)
+    edges = []
+    for e in graph.edges:
+        ed: Dict[str, Any] = {
+            "src": _encode_id(e.src),
+            "dst": _encode_id(e.dst),
+            "delay": e.delay,
+        }
+        init = graph.edge_init(e)
+        if init is not None:
+            ed["init"] = list(init)
+        edges.append(ed)
     return {
         "format": "repro.dfg",
         "version": _FORMAT_VERSION,
         "name": graph.name,
-        "nodes": [
-            {
-                "id": _encode_id(v),
-                "op": graph.op(v),
-                "time": graph.explicit_time(v),
-                "label": graph.label(v) if graph.label(v) != str(v) else None,
-            }
-            for v in graph.nodes
-        ],
-        "edges": [
-            {"src": _encode_id(e.src), "dst": _encode_id(e.dst), "delay": e.delay}
-            for e in graph.edges
-        ],
+        "nodes": nodes,
+        "edges": edges,
     }
 
 
 def from_json_dict(data: Dict[str, Any]) -> DFG:
-    """Inverse of :func:`to_json_dict`."""
+    """Inverse of :func:`to_json_dict` (accepts version 1 documents too)."""
     if data.get("format") != "repro.dfg":
         raise GraphError("not a repro.dfg JSON document")
     graph = DFG(data.get("name", ""))
@@ -52,9 +74,15 @@ def from_json_dict(data: Dict[str, Any]) -> DFG:
             nd.get("op", "op"),
             time=nd.get("time"),
             label=nd.get("label"),
+            **(nd.get("attrs") or {}),
         )
     for ed in data["edges"]:
-        graph.add_edge(_decode_id(ed["src"]), _decode_id(ed["dst"]), int(ed.get("delay", 0)))
+        graph.add_edge(
+            _decode_id(ed["src"]),
+            _decode_id(ed["dst"]),
+            int(ed.get("delay", 0)),
+            init=ed.get("init"),
+        )
     return graph
 
 
@@ -81,12 +109,24 @@ def load(path: str) -> DFG:
 
 
 def _encode_id(node: NodeId) -> Any:
+    """Typed id encoding: str/int pass through, tuples (unfolded node ids)
+    become ``{"t": [...]}`` recursively, anything else a marked string."""
+    if isinstance(node, bool):  # bool is an int subclass; keep it explicit
+        return {"s": str(node)}
     if isinstance(node, (str, int)):
         return node
-    return str(node)
+    if isinstance(node, tuple):
+        return {"t": [_encode_id(x) for x in node]}
+    return {"s": str(node)}
 
 
 def _decode_id(raw: Any) -> NodeId:
+    if isinstance(raw, dict):
+        if "t" in raw:
+            return tuple(_decode_id(x) for x in raw["t"])
+        if "s" in raw:
+            return raw["s"]
+        raise GraphError(f"malformed encoded node id {raw!r}")
     return raw
 
 
@@ -94,17 +134,21 @@ def _decode_id(raw: Any) -> NodeId:
 # edge-list text format:
 #   # comment
 #   node <id> <op> [time]
-#   edge <src> <dst> <delay>
+#   edge <src> <dst> <delay> [init=<json array, no whitespace>]
 # ----------------------------------------------------------------------
 def to_edge_list(graph: DFG) -> str:
-    """Render the line-oriented edge-list form."""
+    """Render the line-oriented edge-list form (inits included)."""
     lines: List[str] = [f"# dfg {graph.name}"]
     for v in graph.nodes:
         t = graph.explicit_time(v)
         suffix = f" {t}" if t is not None else ""
         lines.append(f"node {v} {graph.op(v)}{suffix}")
     for e in graph.edges:
-        lines.append(f"edge {e.src} {e.dst} {e.delay}")
+        init = graph.edge_init(e)
+        suffix = ""
+        if init is not None:
+            suffix = " init=" + json.dumps(list(init), separators=(",", ":"))
+        lines.append(f"edge {e.src} {e.dst} {e.delay}{suffix}")
     return "\n".join(lines) + "\n"
 
 
@@ -123,9 +167,18 @@ def from_edge_list(text: str, name: str = "") -> DFG:
             time = int(parts[3]) if len(parts) == 4 else None
             graph.add_node(parts[1], parts[2], time=time)
         elif kind == "edge":
+            init = None
+            if len(parts) == 5 and parts[4].startswith("init="):
+                try:
+                    init = json.loads(parts[4][len("init="):])
+                except json.JSONDecodeError:
+                    raise GraphError(
+                        f"line {lineno}: malformed init values {parts[4]!r}"
+                    ) from None
+                parts = parts[:4]
             if len(parts) != 4:
                 raise GraphError(f"line {lineno}: malformed edge line {line!r}")
-            graph.add_edge(parts[1], parts[2], int(parts[3]))
+            graph.add_edge(parts[1], parts[2], int(parts[3]), init=init)
         else:
             raise GraphError(f"line {lineno}: unknown directive {kind!r}")
     return graph

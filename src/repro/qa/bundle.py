@@ -1,0 +1,113 @@
+"""Self-contained repro bundles for fuzz failures.
+
+A bundle is a directory under ``artifacts/qa/`` holding everything needed
+to replay one failing cell without the fuzzer's RNG:
+
+* ``graph.json`` — the (minimized) graph in the lossless
+  :mod:`repro.dfg.io` JSON form, qa coefficient attrs included, so
+  semantics can be re-attached deterministically;
+* ``case.json`` — provenance and the verdict: generator name + params,
+  resource config tag, scheduler path, seed, and the oracle failures.
+
+``replay_bundle`` reloads the graph, rebuilds its funcs, re-runs the
+recorded scheduler path and returns the oracle failures observed now —
+an empty list means the bug the bundle captured has been fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.dfg import io as dfg_io
+from repro.dfg.graph import DFG
+from repro.errors import ReproError
+from repro.qa.oracles import OracleFailure
+from repro.suite.random_graphs import rebuild_funcs
+
+_BUNDLE_FORMAT = "repro.qa.bundle"
+_BUNDLE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReproBundle:
+    """A loaded repro bundle: the failing graph plus its case record."""
+
+    path: str
+    graph: DFG
+    case: Dict[str, Any]
+
+    @property
+    def failures(self) -> List[OracleFailure]:
+        return [
+            OracleFailure(f["oracle"], f["message"]) for f in self.case["failures"]
+        ]
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text).strip("_")
+
+
+def write_bundle(
+    out_dir: str,
+    graph: DFG,
+    case: Dict[str, Any],
+    failures: List[OracleFailure],
+) -> str:
+    """Write a bundle directory and return its path.
+
+    ``case`` must carry ``generator``, ``params``, ``config`` and ``path``
+    keys (the fuzz runner's cell coordinates).
+    """
+    tag = "-".join(
+        _slug(str(case.get(k, "?"))) for k in ("generator", "config", "path")
+    )
+    seed = case.get("params", {}).get("seed")
+    if seed is not None:
+        tag += f"-s{seed}"
+    tag += f"-{_slug(failures[0].oracle)}" if failures else "-clean"
+    bundle_dir = os.path.join(out_dir, tag)
+    suffix = 0
+    while os.path.exists(bundle_dir):
+        suffix += 1
+        bundle_dir = os.path.join(out_dir, f"{tag}.{suffix}")
+    os.makedirs(bundle_dir)
+    dfg_io.save(graph, os.path.join(bundle_dir, "graph.json"))
+    record = {
+        "format": _BUNDLE_FORMAT,
+        "version": _BUNDLE_VERSION,
+        **{k: case[k] for k in ("generator", "params", "config", "path")},
+        "failures": [{"oracle": f.oracle, "message": f.message} for f in failures],
+    }
+    with open(os.path.join(bundle_dir, "case.json"), "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2)
+    return bundle_dir
+
+
+def load_bundle(path: str) -> ReproBundle:
+    """Load a bundle directory; funcs are rebuilt from the qa attrs."""
+    with open(os.path.join(path, "case.json"), "r", encoding="utf-8") as fh:
+        case = json.load(fh)
+    if case.get("format") != _BUNDLE_FORMAT:
+        raise ReproError(f"{path}: not a {_BUNDLE_FORMAT} directory")
+    graph = dfg_io.load(os.path.join(path, "graph.json"))
+    rebuild_funcs(graph)
+    return ReproBundle(path=path, graph=graph, case=case)
+
+
+def replay_bundle(path: str) -> Tuple[ReproBundle, List[OracleFailure]]:
+    """Re-run a bundle's scheduler path on its stored graph.
+
+    Returns the bundle and the failures observed *now* (empty when the
+    captured bug no longer reproduces).
+    """
+    from repro.qa.runner import run_cell_on_graph
+
+    bundle = load_bundle(path)
+    failures = run_cell_on_graph(
+        bundle.graph, bundle.case["config"], bundle.case["path"]
+    )
+    return bundle, failures

@@ -1,0 +1,95 @@
+"""Delta-debugging of failing fuzz graphs to minimal reproducers.
+
+Given a graph on which some oracle fires and a *predicate* that rebuilds
+the failing cell on a candidate graph and reports whether the same
+failure persists, greedily drop nodes and edges one at a time until no
+single removal keeps the failure alive.  The result is 1-minimal: every
+remaining node and edge is necessary for the failure.
+
+Removals can only break cycles, never create zero-delay ones, so every
+candidate is itself a structurally legal DFG; a predicate that raises on
+a degenerate candidate (empty graph, disconnected scheduling corner) is
+treated as "failure not reproduced" and the removal is rolled back.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.dfg.graph import DFG
+
+
+Predicate = Callable[[DFG], bool]
+
+
+def _holds(predicate: Predicate, graph: DFG) -> bool:
+    try:
+        return bool(predicate(graph))
+    except Exception:
+        return False
+
+
+def _without_node(graph: DFG, index: int) -> DFG:
+    cand = graph.copy()
+    cand.remove_node(cand.nodes[index])
+    return cand
+
+
+def _without_edge(graph: DFG, index: int) -> DFG:
+    # copy() re-assigns edge ids in insertion order, so removal goes by
+    # position, not by the original Edge object.
+    cand = graph.copy()
+    cand.remove_edge(cand.edges[index])
+    return cand
+
+
+def shrink_graph(
+    graph: DFG,
+    predicate: Predicate,
+    *,
+    min_nodes: int = 1,
+    max_steps: int = 10_000,
+) -> DFG:
+    """Minimize ``graph`` while ``predicate`` keeps returning True.
+
+    Args:
+        graph: a graph on which ``predicate`` holds (if it does not, the
+            input is returned unchanged).
+        predicate: re-runs the failing scenario on a candidate and returns
+            True when the *same* failure persists.  Exceptions count as
+            False.
+        min_nodes: stop removing nodes below this count.
+        max_steps: hard cap on predicate evaluations (defensive).
+
+    Returns:
+        A 1-minimal failing subgraph (possibly the input itself).
+    """
+    if not _holds(predicate, graph):
+        return graph
+    current = graph
+    steps = 0
+    changed = True
+    while changed and steps < max_steps:
+        changed = False
+        # nodes first: dropping a node removes its edges too, shrinking fast
+        i = 0
+        while i < current.num_nodes and steps < max_steps:
+            if current.num_nodes <= min_nodes:
+                break
+            cand = _without_node(current, i)
+            steps += 1
+            if _holds(predicate, cand):
+                current = cand
+                changed = True
+            else:
+                i += 1
+        i = 0
+        while i < current.num_edges and steps < max_steps:
+            cand = _without_edge(current, i)
+            steps += 1
+            if _holds(predicate, cand):
+                current = cand
+                changed = True
+            else:
+                i += 1
+    return current

@@ -136,17 +136,19 @@ def modulo_resource_conflicts(
     """
     if period <= 0:
         raise IllegalScheduleError(f"nonpositive period {period}")
+    out: List[str] = []
     table: Dict[Tuple[str, int], List[NodeId]] = {}
     for v in graph.nodes:
         op = graph.op(v)
         unit = model.unit_for_op(op)
         if not unit.pipelined and unit.latency > period:
-            return [
+            # Report it, but keep going: every other latency offender and
+            # all reservation-table over-subscriptions matter too.
+            out.append(
                 f"{v!r}: non-pipelined latency {unit.latency} exceeds period {period}"
-            ]
+            )
         for off in model.busy_offsets(op):
             table.setdefault((unit.name, (start[v] + off) % period), []).append(v)
-    out = []
     for (unit_name, slot), nodes in sorted(table.items(), key=lambda kv: (kv[0][1], kv[0][0])):
         available = model.unit(unit_name).count
         if len(nodes) > available:

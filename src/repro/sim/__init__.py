@@ -1,7 +1,12 @@
 """Execution simulators: reference loop, software pipeline, machine model."""
 
-from repro.sim.reference import ReferenceExecutor, reference_run
-from repro.sim.executor import PipelineExecutor, PipelineRunReport, verify_pipeline
+from repro.sim.reference import ReferenceExecutor, reference_run, validate_edge_inits
+from repro.sim.executor import (
+    PipelineExecutor,
+    PipelineRunReport,
+    compare_streams,
+    verify_pipeline,
+)
 from repro.sim.machine import MachineReport, MachineSimulator, UnitUtilization, simulate_machine
 
 __all__ = [
@@ -11,7 +16,9 @@ __all__ = [
     "PipelineRunReport",
     "ReferenceExecutor",
     "UnitUtilization",
+    "compare_streams",
     "reference_run",
     "simulate_machine",
+    "validate_edge_inits",
     "verify_pipeline",
 ]

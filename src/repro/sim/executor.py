@@ -22,7 +22,7 @@ from repro.dfg.graph import DFG, NodeId
 from repro.dfg.retiming import Retiming
 from repro.schedule.schedule import Schedule
 from repro.core.wrapping import WrappedSchedule
-from repro.sim.reference import ReferenceExecutor
+from repro.sim.reference import ReferenceExecutor, validate_edge_inits
 from repro.errors import SimulationError
 
 
@@ -71,6 +71,7 @@ class PipelineExecutor:
                 raise SimulationError(f"node {v!r} has no func — cannot simulate")
         if any(retiming[v] < 0 for v in graph.nodes):
             raise SimulationError("pipeline executor expects a normalized retiming")
+        validate_edge_inits(graph)
         self.schedule = schedule.normalized()
         self.retiming = retiming
         self.period = self.schedule.length if period is None else period
@@ -149,17 +150,7 @@ class PipelineExecutor:
         """Run pipelined and reference executions and compare the streams."""
         pipelined = self.run(iterations)
         reference = ReferenceExecutor(self.graph).run(iterations)
-        max_err = 0.0
-        ok = True
-        for v in self.graph.nodes:
-            for a, b in zip(pipelined[v], reference[v]):
-                if isinstance(a, (int, float)) and isinstance(b, (int, float)):
-                    err = abs(a - b)
-                    max_err = max(max_err, err)
-                    if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
-                        ok = False
-                elif a != b:
-                    ok = False
+        max_err, ok = compare_streams(pipelined, reference, rel_tol=rel_tol)
 
         first = min(self.start_time(v, 0) for v in self.graph.nodes)
         last = max(self.finish_time(v, iterations - 1) for v in self.graph.nodes)
@@ -174,6 +165,36 @@ class PipelineExecutor:
             max_abs_error=max_err,
             matches_reference=ok,
         )
+
+
+def compare_streams(
+    produced: Mapping[NodeId, List[Any]],
+    reference: Mapping[NodeId, List[Any]],
+    rel_tol: float = 1e-9,
+) -> Tuple[float, bool]:
+    """Strict per-node value-stream comparison: ``(max |err|, equal)``.
+
+    A node present in only one side, or two streams of different lengths,
+    is a mismatch — truncating silently (what a bare ``zip`` would do)
+    could pass a pipeline that computed too few values.
+    """
+    max_err = 0.0
+    ok = set(produced) == set(reference)
+    for v in produced:
+        if v not in reference:
+            continue
+        a_stream, b_stream = produced[v], reference[v]
+        if len(a_stream) != len(b_stream):
+            ok = False
+        for a, b in zip(a_stream, b_stream):
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                err = abs(a - b)
+                max_err = max(max_err, err)
+                if not math.isclose(a, b, rel_tol=rel_tol, abs_tol=1e-12):
+                    ok = False
+            elif a != b:
+                ok = False
+    return max_err, ok
 
 
 def _sequential_period(schedule: Schedule) -> int:

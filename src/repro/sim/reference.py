@@ -21,6 +21,22 @@ from repro.dfg.analysis import topological_order
 from repro.errors import SimulationError
 
 
+def validate_edge_inits(graph: DFG) -> None:
+    """Reject declared initial values that cannot cover their edge's delay.
+
+    ``DFG.add_edge`` enforces ``len(init) == delay`` at construction time,
+    but graphs arriving through other channels (hand-built JSON, direct
+    ``_edge_init`` manipulation) may disagree; without this check a short
+    tuple surfaces as a bare ``IndexError`` deep inside ``run``.
+    """
+    for e in graph.edges:
+        init = graph.edge_init(e)
+        if init is not None and len(init) != e.delay:
+            raise SimulationError(
+                f"edge {e}: {len(init)} initial values for {e.delay} delays"
+            )
+
+
 def operand_value(
     graph: DFG,
     edge: Edge,
@@ -51,6 +67,7 @@ class ReferenceExecutor:
                 raise SimulationError(
                     f"node {v!r} has no func — attach semantics to simulate"
                 )
+        validate_edge_inits(graph)
         self.graph = graph
         self._order = topological_order(graph)
 

@@ -15,7 +15,17 @@ from repro.suite.registry import (
     get_benchmark,
     load_benchmark_json,
 )
-from repro.suite.random_graphs import random_chain_loop, random_dfg, random_dsp_kernel
+from repro.suite.random_graphs import (
+    GENERATORS,
+    attach_affine_funcs,
+    build_case_graph,
+    generator_grid,
+    random_chain_loop,
+    random_dfg,
+    random_dsp_kernel,
+    rebuild_funcs,
+    unfolded_dfg,
+)
 
 __all__ = [
     "BENCHMARKS",
@@ -31,7 +41,13 @@ __all__ = [
     "get_benchmark",
     "load_benchmark_json",
     "lattice",
+    "GENERATORS",
+    "attach_affine_funcs",
+    "build_case_graph",
+    "generator_grid",
     "random_chain_loop",
     "random_dfg",
     "random_dsp_kernel",
+    "rebuild_funcs",
+    "unfolded_dfg",
 ]

@@ -9,9 +9,10 @@ order; backward edges always carry delays.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.dfg.graph import DFG, NodeId
+from repro.errors import GraphError
 
 
 def random_dfg(
@@ -129,3 +130,111 @@ def random_dsp_kernel(
         g.add_edge(acc_prev, "fb", 1, init=[0.0])
         g.add_edge("fb", "a0", 0)
     return g
+
+
+# ----------------------------------------------------------------------
+# deterministic semantics + the fuzzer's parameter grid
+# ----------------------------------------------------------------------
+def _affine_func(bias: float, gain: float):
+    """``bias + gain * mean(operands)`` — contractive for |gain| < 1, so
+    value streams stay bounded (no inf/NaN) over any iteration count."""
+
+    def func(*xs: float) -> float:
+        return bias + gain * (sum(xs) / len(xs)) if xs else bias
+
+    return func
+
+
+def attach_affine_funcs(graph: DFG, seed: int = 0) -> DFG:
+    """Attach deterministic, numerically tame semantics to every node.
+
+    Coefficients are drawn from ``seed`` and *stored as node attrs*
+    (``qa_bias`` / ``qa_gain``), so a graph serialized with
+    :mod:`repro.dfg.io` can have identical semantics re-attached after
+    loading via :func:`rebuild_funcs` — the property repro bundles rely
+    on.  Existing funcs and coefficients are overwritten.
+    """
+    rng = random.Random(seed)
+    for v in graph.nodes:
+        attrs = graph.attrs(v)
+        attrs["qa_bias"] = round(rng.uniform(-1.0, 1.0), 6)
+        attrs["qa_gain"] = round(rng.uniform(-0.9, 0.9), 6)
+    return rebuild_funcs(graph)
+
+
+def rebuild_funcs(graph: DFG) -> DFG:
+    """Re-attach semantics from the ``qa_bias``/``qa_gain`` node attrs
+    written by :func:`attach_affine_funcs` (e.g. after a JSON round-trip)."""
+    for v in graph.nodes:
+        attrs = graph.attrs(v)
+        if "qa_bias" not in attrs or "qa_gain" not in attrs:
+            raise GraphError(f"node {v!r} carries no qa coefficients to rebuild from")
+        graph.set_func(v, _affine_func(attrs["qa_bias"], attrs["qa_gain"]))
+    return graph
+
+
+def unfolded_dfg(
+    num_nodes: int = 6,
+    *,
+    factor: int = 2,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> DFG:
+    """A random DFG unfolded by ``factor`` — exercises tuple node ids
+    (``(original, copy)``) through every scheduler and serialization path."""
+    from repro.dfg.unfold import unfold
+
+    return unfold(random_dfg(num_nodes, seed=seed), factor, name=name)
+
+
+#: generator name -> callable, as referenced by fuzz cases and bundles.
+GENERATORS = {
+    "random_dfg": random_dfg,
+    "random_chain_loop": random_chain_loop,
+    "random_dsp_kernel": random_dsp_kernel,
+    "unfolded_dfg": unfolded_dfg,
+}
+
+
+def build_case_graph(generator: str, params: Dict[str, Any]) -> DFG:
+    """Instantiate a generator cell and attach deterministic semantics."""
+    try:
+        gen = GENERATORS[generator]
+    except KeyError:
+        raise GraphError(f"unknown graph generator {generator!r}") from None
+    graph = gen(**params)
+    return attach_affine_funcs(graph, seed=params.get("seed", 0))
+
+
+def generator_grid(
+    seeds: Iterable[int],
+    *,
+    dfg_sizes: Sequence[int] = (8, 12),
+    ring_shapes: Sequence[Tuple[int, int]] = ((3, 2), (3, 3)),
+    dsp_taps: Sequence[int] = (3, 4),
+    unfold_sizes: Sequence[int] = (5,),
+) -> List[Tuple[str, Dict[str, Any]]]:
+    """The fuzzer's graph parameter grid: ``(generator, kwargs)`` cells.
+
+    Deterministic order; every cell is buildable by
+    :func:`build_case_graph`.  ``random_dfg`` varies node count,
+    ``random_chain_loop`` stage shape, ``random_dsp_kernel`` tap count
+    (both recursive and non-recursive), and ``unfolded_dfg`` covers
+    tuple node ids.
+    """
+    cells: List[Tuple[str, Dict[str, Any]]] = []
+    seeds = list(seeds)
+    for seed in seeds:
+        for n in dfg_sizes:
+            cells.append(("random_dfg", {"num_nodes": n, "seed": seed}))
+        for stages, length in ring_shapes:
+            cells.append(
+                ("random_chain_loop", {"num_stages": stages, "stage_len": length, "seed": seed})
+            )
+        for taps in dsp_taps:
+            cells.append(
+                ("random_dsp_kernel", {"taps": taps, "seed": seed, "recursive": seed % 2 == 0})
+            )
+        for n in unfold_sizes:
+            cells.append(("unfolded_dfg", {"num_nodes": n, "factor": 2, "seed": seed}))
+    return cells

@@ -47,6 +47,56 @@ class TestSvg:
         assert "</svg>" in text
 
 
+class TestBenchFlags:
+    """Regression: bench used to reject the shared scheduler flags."""
+
+    def test_accepts_no_engine_workers_priority(self, capsys):
+        assert main([
+            "bench", "diffeq", "1A1M", "--beta", "8",
+            "--no-engine", "--workers", "1", "--priority", "height",
+        ]) == 0
+        assert "1A 1M" in capsys.readouterr().out
+
+    def test_engine_parity_in_bench_output(self, capsys):
+        main(["bench", "diffeq", "1A2M", "--beta", "8"])
+        with_engine = capsys.readouterr().out
+        main(["bench", "diffeq", "1A2M", "--beta", "8", "--no-engine"])
+        without_engine = capsys.readouterr().out
+        assert with_engine == without_engine
+
+
+class TestFuzz:
+    def test_small_grid_exits_zero(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--seeds", "1", "--max-cells", "12",
+            "--out", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "certified 12/12 cells clean" in out
+
+    def test_smoke_respects_budget_flags(self, tmp_path, capsys):
+        assert main([
+            "fuzz", "--smoke", "--max-cells", "5", "--out", str(tmp_path),
+        ]) == 0
+        assert "certified 5/5" in capsys.readouterr().out
+
+    def test_failures_exit_nonzero(self, tmp_path, capsys, monkeypatch):
+        import repro.qa.runner as runner_mod
+        from repro.qa import OracleFailure
+
+        monkeypatch.setattr(
+            runner_mod,
+            "check_roundtrip",
+            lambda graph: [OracleFailure("roundtrip", "injected")],
+        )
+        assert main([
+            "fuzz", "--seeds", "1", "--max-cells", "1",
+            "--out", str(tmp_path),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "FAILING" in out
+
+
 class TestUnfold:
     def test_round_trips_through_inspect(self, tmp_path, capsys):
         out_path = str(tmp_path / "u.json")

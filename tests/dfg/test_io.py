@@ -44,6 +44,95 @@ class TestJson:
         assert _same_structure(g, dio.load(path))
 
 
+class TestLosslessRoundTrip:
+    """Regressions for the lossy serializer: inits, attrs, tuple ids."""
+
+    def test_edge_inits_survive(self):
+        g = DFG("init")
+        g.add_node("a", "add")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 2, init=[0.5, -1.25])
+        back = dio.loads(dio.dumps(g))
+        (e,) = back.edges
+        assert back.edge_init(e) == (0.5, -1.25)
+
+    def test_node_attrs_survive(self):
+        g = DFG("attrs")
+        g.add_node("a", "add", qa_bias=0.125, stage="front")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 1)
+        back = dio.loads(dio.dumps(g))
+        assert back.attrs("a") == {"qa_bias": 0.125, "stage": "front"}
+        assert back.attrs("b") == {}
+
+    def test_tuple_ids_survive_and_fold(self):
+        from repro.dfg.unfold import fold_node, unfold
+        from repro.suite.random_graphs import random_dfg
+
+        base = random_dfg(5, seed=7)
+        g = unfold(base, 2)
+        back = dio.loads(dio.dumps(g))
+        assert set(back.nodes) == set(g.nodes)
+        # the regression: stringified ids broke fold_node after a reload
+        assert {fold_node(v)[0] for v in back.nodes} == set(base.nodes)
+        assert {fold_node(v)[1] for v in back.nodes} == {0, 1}
+
+    def test_nested_tuple_and_int_ids(self):
+        g = DFG("ids")
+        g.add_node((("x", 1), 2), "add")
+        g.add_node(7, "mul")
+        g.add_edge((("x", 1), 2), 7, 1)
+        back = dio.loads(dio.dumps(g))
+        assert set(back.nodes) == {(("x", 1), 2), 7}
+
+    def test_unencodable_ids_degrade_to_strings(self):
+        g = DFG("weird")
+        g.add_node(frozenset({"a"}), "add")
+        g.add_node("b", "add")
+        g.add_edge(frozenset({"a"}), "b", 1)
+        back = dio.loads(dio.dumps(g))
+        assert set(back.nodes) == {"frozenset({'a'})", "b"}
+
+    def test_v1_files_still_load(self):
+        import json
+
+        data = dio.to_json_dict(diffeq())
+        data.pop("version", None)
+        for nd in data["nodes"]:
+            nd.pop("attrs", None)
+        for ed in data["edges"]:
+            ed.pop("init", None)
+        back = dio.loads(json.dumps(data))
+        assert _same_structure(diffeq(), back)
+
+    def test_property_random_graphs_round_trip(self):
+        from repro.suite.random_graphs import (
+            attach_affine_funcs,
+            random_dfg,
+            random_dsp_kernel,
+            unfolded_dfg,
+        )
+
+        graphs = [
+            attach_affine_funcs(random_dfg(10, seed=s), seed=s) for s in range(4)
+        ] + [
+            random_dsp_kernel(4, seed=1),  # carries real edge inits
+            unfolded_dfg(5, seed=2),  # tuple ids
+        ]
+        for g in graphs:
+            back = dio.loads(dio.dumps(g))
+            assert set(back.nodes) == set(g.nodes)
+            assert {(v, back.op(v)) for v in back.nodes} == {
+                (v, g.op(v)) for v in g.nodes
+            }
+            assert {v: back.attrs(v) for v in back.nodes} == {
+                v: g.attrs(v) for v in g.nodes
+            }
+            assert sorted(
+                (e.src, e.dst, e.delay, back.edge_init(e)) for e in back.edges
+            ) == sorted((e.src, e.dst, e.delay, g.edge_init(e)) for e in g.edges)
+
+
 class TestEdgeList:
     def test_round_trip(self):
         g = DFG("el")
@@ -60,6 +149,18 @@ class TestEdgeList:
         text = "# comment\n\nnode a add\nnode b add\nedge a b 0\n"
         g = dio.from_edge_list(text)
         assert g.num_nodes == 2 and g.num_edges == 1
+
+    def test_edge_inits_round_trip(self):
+        g = DFG("el-init")
+        g.add_node("a", "add")
+        g.add_node("b", "mul")
+        g.add_edge("a", "b", 2, init=[1.0, -0.5])
+        g.add_edge("b", "a", 1)
+        text = dio.to_edge_list(g)
+        assert "init=[1.0,-0.5]" in text
+        back = dio.from_edge_list(text, "el-init")
+        inits = {(e.src, e.dst): back.edge_init(e) for e in back.edges}
+        assert inits == {("a", "b"): (1.0, -0.5), ("b", "a"): None}
 
     def test_malformed_lines_rejected(self):
         with pytest.raises(GraphError, match="line 1"):

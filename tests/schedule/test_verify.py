@@ -108,6 +108,27 @@ class TestModuloChecks:
         # period 2: a@1 + 2 = 3 < 4 -> violated
         assert modulo_precedence_violations(g, model, {"m": 2, "a": 1}, 2)
 
+    def test_all_problems_accumulated(self):
+        """Regression: the checker used to return on the first latency
+        offender, hiding every other latency problem *and* all slot
+        conflicts behind it."""
+        g = DFG()
+        g.add_node("m1", "mul")
+        g.add_node("m2", "mul")
+        g.add_node("a1", "add")
+        g.add_node("a2", "add")
+        model = ResourceModel.adders_mults(1, 1)
+        # period 1: both 2-cycle mults exceed the period (2 latency
+        # problems), and the two adds collide in slot 0 (1 slot conflict)
+        out = modulo_resource_conflicts(
+            g, model, {"m1": 0, "m2": 0, "a1": 0, "a2": 0}, 1
+        )
+        assert len(out) >= 3
+        latency = [p for p in out if "exceeds period" in p]
+        slots = [p for p in out if "busy" in p]
+        assert len(latency) == 2
+        assert any("adder" in p for p in slots)
+
     def test_is_legal_modulo_schedule(self, tiny_loop):
         model = ResourceModel.adders_mults(1, 1)
         # period 3 = iteration bound: a@2, m@0? check: m->a d1: 0+2 <= 2+3 ok;

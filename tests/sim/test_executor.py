@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.dfg import Retiming
+from repro.dfg import DFG, Retiming
 from repro.schedule import ResourceModel, Schedule, realizing_retiming
 from repro.core import rotation_schedule
-from repro.sim import PipelineExecutor, verify_pipeline
+from repro.sim import PipelineExecutor, compare_streams, verify_pipeline
 from repro.suite import diffeq
 from repro.errors import SimulationError
 
@@ -74,3 +74,57 @@ class TestPipelineExecutor:
         sched, r = optimal_diffeq
         report = verify_pipeline(sched, r, iterations=10)
         assert "OK" in str(report)
+
+    def test_short_edge_init_rejected_up_front(self):
+        """Regression: a too-short init used to surface as IndexError mid-run."""
+        g = DFG("bad-init")
+        g.add_node("a", "add", func=lambda x: x + 1.0)
+        g.add_node("b", "add", func=lambda x: x)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 3)
+        g._edge_init[g.edges[1].eid] = (1.0,)  # bypass add_edge validation
+        model = ResourceModel.adders_mults(2, 1)
+        sched = Schedule(g, model, {"a": 0, "b": 1})
+        with pytest.raises(SimulationError, match="init"):
+            PipelineExecutor(sched, Retiming.zero())
+
+    def test_truncated_reference_is_a_mismatch(self, optimal_diffeq, monkeypatch):
+        """Regression: zip() silently ignored missing tail values."""
+        from repro.sim import executor as executor_mod
+        from repro.sim.reference import ReferenceExecutor
+
+        orig_run = ReferenceExecutor.run
+
+        def truncating_run(self, iterations):
+            streams = orig_run(self, iterations)
+            return {v: s[:-1] for v, s in streams.items()}
+
+        monkeypatch.setattr(
+            executor_mod.ReferenceExecutor, "run", truncating_run
+        )
+        sched, r = optimal_diffeq
+        report = verify_pipeline(sched, r, iterations=10)
+        assert not report.matches_reference
+
+
+class TestCompareStreams:
+    def test_equal_streams_match(self):
+        err, ok = compare_streams({"a": [1.0, 2.0]}, {"a": [1.0, 2.0]})
+        assert ok and err == 0.0
+
+    def test_length_mismatch_fails(self):
+        err, ok = compare_streams({"a": [1.0, 2.0]}, {"a": [1.0]})
+        assert not ok
+        assert err == 0.0  # the common prefix agrees
+
+    def test_missing_node_fails_both_ways(self):
+        assert not compare_streams({"a": [1.0]}, {})[1]
+        assert not compare_streams({}, {"a": [1.0]})[1]
+
+    def test_value_divergence_reports_max_error(self):
+        err, ok = compare_streams({"a": [1.0, 2.0]}, {"a": [1.0, 2.5]})
+        assert not ok and err == 0.5
+
+    def test_non_numeric_values_compared_exactly(self):
+        assert compare_streams({"a": ["x"]}, {"a": ["x"]})[1]
+        assert not compare_streams({"a": ["x"]}, {"a": ["y"]})[1]

@@ -17,8 +17,11 @@ Subcommands:
 * ``unfold`` — unfold a graph by a factor and write it as JSON.
 * ``fuzz`` — differential fuzzing: push seeded random graphs through
   every scheduler path and certify them against the oracle stack
-  (``--smoke`` is the bounded pre-merge tier; failures are delta-debugged
-  to minimal repro bundles under ``artifacts/qa/``).
+  (``--smoke`` is the bounded pre-merge tier; ``--jobs N`` fans cells out
+  across worker processes; failures are delta-debugged to minimal repro
+  bundles under ``artifacts/qa/``).
+* ``gate`` — the single pre-merge entry point: tier-1 pytest, the golden
+  engine-parity suite, then ``fuzz --smoke --jobs 4``.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.dfg.graph import DFG
 from repro.dfg.analysis import critical_path_length
 from repro.dfg.iteration_bound import iteration_bound
 from repro.schedule.resources import ResourceModel
+from repro.core.engine import BACKENDS
 from repro.core.scheduler import rotation_schedule
 from repro.bounds.lower_bounds import combined_lower_bound
 from repro.suite.registry import BENCHMARKS, PAPER_TIMING, get_benchmark
@@ -79,6 +83,9 @@ def _sched_kwargs(args: argparse.Namespace) -> dict:
         "priority": args.priority,
         "use_engine": not args.no_engine,
         "workers": args.workers,
+        # An explicit --backend wins over --no-engine; without it the
+        # scheduler resolves the backend from use_engine ("flat"/"naive").
+        "backend": args.backend,
     }
 
 
@@ -218,11 +225,52 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         budget_seconds=args.budget,
         max_cells=args.max_cells,
         out_dir=args.out,
+        jobs=args.jobs,
     )
     print(report.summary())
     for failure in report.failures:
         print(f"  FAIL {failure.case.tag()}: {failure.failures[0].oracle} -> {failure.bundle_path}")
     return 0 if not report.failures else 1
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    """The single pre-merge entry point: tier-1 tests, the golden engine
+    parity suite, and the fuzz smoke tier, in that order, failing fast."""
+    import os
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+
+    def run_pytest(label: str, extra: List[str]) -> bool:
+        cmd = [sys.executable, "-m", "pytest", "-q"] + extra
+        print(f"gate: {label}: {' '.join(cmd)}")
+        code = subprocess.call(cmd, env=env)
+        print(f"gate: {label}: {'PASS' if code == 0 else f'FAIL (exit {code})'}")
+        return code == 0
+
+    if not args.skip_tests:
+        if not run_pytest("tier-1 tests", ["-x"]):
+            return 1
+        if not run_pytest(
+            "golden parity suite", ["tests/core/test_engine_parity.py"]
+        ):
+            return 1
+
+    from repro.qa import run_fuzz, smoke_cases
+
+    print(f"gate: fuzz smoke tier (--jobs {args.jobs})")
+    report = run_fuzz(smoke_cases(), out_dir=args.out, jobs=args.jobs)
+    print(report.summary())
+    for failure in report.failures:
+        print(f"  FAIL {failure.case.tag()}: {failure.failures[0].oracle} -> {failure.bundle_path}")
+    if report.failures:
+        print("gate: FAIL")
+        return 1
+    print("gate: PASS")
+    return 0
 
 
 def cmd_unfold(args: argparse.Namespace) -> int:
@@ -261,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-engine",
             action="store_true",
             help="disable the incremental rotation engine (recompute everything)",
+        )
+        p.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=None,
+            help="scheduling core: flat (integer kernels, default), views "
+            "(dict engine), naive (recompute everything); all bit-identical",
         )
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -329,7 +384,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--out", default="artifacts/qa", help="directory for minimized repro bundles"
     )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="certify cells across N worker processes (same verdict, "
+        "deterministic case-ordered reporting)",
+    )
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "gate",
+        help="pre-merge gate: tier-1 tests + golden parity suite + fuzz smoke",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=4, help="worker processes for the fuzz tier"
+    )
+    p.add_argument(
+        "--out", default="artifacts/qa", help="directory for minimized repro bundles"
+    )
+    p.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="run only the fuzz smoke tier (assume pytest already ran)",
+    )
+    p.set_defaults(func=cmd_gate)
 
     p = sub.add_parser("unfold", help="unfold a graph and save it as JSON")
     p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")

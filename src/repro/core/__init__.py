@@ -1,6 +1,7 @@
 """Rotation scheduling core: rotations, phases, heuristics, depth, wrapping."""
 
-from repro.core.engine import EngineStats, RotationEngine, ViewCache
+from repro.core.engine import BACKENDS, EngineStats, RotationEngine, ViewCache, make_engine
+from repro.core.flat import FlatEngine, FlatGraph, FlatModel
 from repro.core.rotation import RotationState, RotationStep
 from repro.core.phases import (
     HEURISTICS,
@@ -30,12 +31,17 @@ from repro.core.chained_rotation import ChainedRotationState, chained_rotation_s
 from repro.core.scheduler import RotationResult, RotationScheduler, rotation_schedule
 
 __all__ = [
+    "BACKENDS",
     "HEURISTICS",
     "BestTracker",
     "ChainedRotationState",
     "EngineStats",
+    "FlatEngine",
+    "FlatGraph",
+    "FlatModel",
     "RotationEngine",
     "ViewCache",
+    "make_engine",
     "NestedModel",
     "NestedRotationState",
     "NestedSchedule",

@@ -54,6 +54,32 @@ from repro.errors import RotationError, SchedulingError
 _INCREMENTAL_PRIORITIES = {"descendants", "height", "combined"}
 _STRUCTURAL_PRIORITIES = {"descendants", "height", "combined", "mobility"}
 
+#: Selectable acceleration backends, fastest first.  ``flat`` = integer
+#: kernels over CSR snapshots (repro.core.flat), ``views`` = the dict-based
+#: incremental engine below, ``naive`` = recompute everything (no engine).
+BACKENDS = ("flat", "views", "naive")
+
+
+def make_engine(backend, graph, model, priority="descendants", max_views: int = 4096):
+    """Resolve a backend name to an engine instance (or ``False`` for naive).
+
+    ``None`` selects the default (``flat``).  The flat backend requires a
+    named structural priority — callable priorities fall back to the dict
+    engine, which routes them through :func:`get_priority` unchanged.  All
+    three backends are pinned bit-identical by the golden parity suite.
+    """
+    if backend is None:
+        backend = "flat"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}")
+    if backend == "naive":
+        return False
+    if backend == "flat" and priority in _STRUCTURAL_PRIORITIES:
+        from repro.core.flat.engine import FlatEngine
+
+        return FlatEngine(graph, model, priority, max_views)
+    return RotationEngine(graph, model, priority, max_views)
+
 
 @dataclass
 class EngineStats:
@@ -375,6 +401,8 @@ class RotationEngine:
     remain immutable — the engine is pure acceleration, enforced by the
     golden parity suite.
     """
+
+    backend_name = "views"
 
     def __init__(self, graph: DFG, model: ResourceModel, priority="descendants", max_views: int = 4096):
         self.graph = graph

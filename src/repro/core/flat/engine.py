@@ -1,0 +1,579 @@
+"""The flat rotation engine: the incremental engine over integer arrays.
+
+:class:`FlatEngine` is drop-in compatible with
+:class:`repro.core.engine.RotationEngine` (same constructor shape, same
+``initial_state`` / ``down_rotate`` / ``compatible_with`` / ``stats``
+surface, same :class:`~repro.core.engine.EngineStats` counters) but keeps
+*all* per-rotation state in the flat domain: retimings become dense
+``rv`` vectors, the ``dr`` map becomes a per-edge-position list, zero-delay
+adjacency becomes index lists, priorities become precompiled sort keys, and
+the occupancy grid stores instance bitmasks.  Node ids only reappear at the
+boundary — error messages, ``Retiming`` updates, and the final
+:class:`~repro.schedule.schedule.Schedule` built through the trusted
+constructor.
+
+It additionally accelerates two paths the dict engine leaves naive:
+``up_rotate`` (latest-fit rescheduling over the same flat grid) and
+``wrap_state`` (the period search of :func:`repro.core.wrapping.wrap`,
+reading the chain tip's start vector directly).
+
+The golden parity suite pins this engine bit-identical to both the dict
+engine and the naive path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dfg.graph import DFG
+from repro.dfg.retiming import Retiming
+from repro.dfg.analysis import _find_zero_delay_cycle
+from repro.schedule.resources import ResourceModel
+from repro.schedule.schedule import Schedule
+from repro.core.engine import EngineStats, _STRUCTURAL_PRIORITIES
+from repro.core.wrapping import WrappedSchedule
+from repro.core.flat.graph import FlatGraph, FlatModel
+from repro.core.flat.kernels import (
+    FlatGrid,
+    flat_latest_fit,
+    flat_list_schedule,
+    flat_priority_columns,
+    flat_topological_order,
+    flat_wrap_period,
+    retimed_delays,
+    seed_grid,
+    zero_delay_lists,
+)
+from repro.errors import RotationError, ZeroDelayCycleError
+
+
+class FlatView:
+    """Flat analogue of :class:`repro.core.engine.GraphView` — caches of one
+    retimed graph ``G_R``, indexed by node/edge position."""
+
+    __slots__ = ("r", "rv", "dr", "zsucc", "zpred", "order", "skey", "reach", "heights")
+
+    def __init__(self, r, rv, dr, zsucc, zpred, order, skey, reach, heights):
+        self.r: Retiming = r
+        self.rv: List[int] = rv
+        self.dr: List[int] = dr
+        self.zsucc: List[List[int]] = zsucc
+        self.zpred: List[List[int]] = zpred
+        self.order: Optional[List[int]] = order
+        self.skey: List[Tuple[int, ...]] = skey
+        self.reach: Optional[List[int]] = reach
+        self.heights: Optional[List[int]] = heights
+
+
+class FlatEngine:
+    """Array-backed rotation engine (``backend="flat"``).
+
+    One engine serves one ``(graph, model, priority)`` triple; the graph is
+    snapshotted once into a :class:`FlatGraph` and must not be mutated
+    afterwards (:meth:`compatible_with` cheaply guards against that by
+    comparing node/edge counts, falling back to the naive path on mismatch).
+    """
+
+    backend_name = "flat"
+
+    def __init__(self, graph: DFG, model: ResourceModel, priority="descendants", max_views: int = 4096):
+        if priority not in _STRUCTURAL_PRIORITIES:
+            raise ValueError(
+                f"flat backend supports priorities {sorted(_STRUCTURAL_PRIORITIES)}, "
+                f"got {priority!r}"
+            )
+        self.graph = graph
+        self.model = model
+        self.priority = priority
+        self.max_views = max_views
+        self._stats = EngineStats()
+        self.fg = FlatGraph(graph)
+        self.fm = FlatModel(self.fg, model)
+        self._views: Dict[Retiming, FlatView] = {}
+        # Chain tip: the grid + start/unit vectors of the most recently
+        # produced schedule (see RotationEngine's token protocol).
+        self._grid: Optional[FlatGrid] = None
+        self._grid_token: Optional[int] = None
+        self._start_list: List[int] = []
+        self._unit_list: List[int] = []
+        self._next_token = 0
+        # The tip state's view, addressable without hashing its Retiming
+        # (states whose engine_token matches _grid_token were built with it).
+        self._tip_view: Optional[FlatView] = None
+        # Dirty-walk admission control: consecutive aborted repair walks.
+        # Past the threshold _derive stops attempting the walk (retrying
+        # one in every 32 derives in case the rotation pattern changed) —
+        # on deep graphs the walk aborts nearly every time and its
+        # bookkeeping is pure overhead before the inevitable rebuild.
+        self._walk_misses = 0
+        self._derive_seq = 0
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the instrumentation counters as a plain dict."""
+        return asdict(self._stats)
+
+    def compatible_with(self, state) -> bool:
+        """Whether a state can be driven by this engine's caches."""
+        return (
+            state.graph is self.graph
+            and state.model is self.model
+            and state.priority == self.priority
+            and self.fg.n == self.graph.num_nodes
+            and self.fg.m == self.graph.num_edges
+        )
+
+    # -- view cache ----------------------------------------------------
+    def _get_view(self, r: Retiming) -> FlatView:
+        view = self._views.get(r)
+        if view is not None:
+            self._stats.view_hits += 1
+            return view
+        view = self._build(r)
+        self._store(r, view)
+        return view
+
+    def _advance(self, base: FlatView, moved_idx: Sequence[int], new_r: Retiming, step: int) -> FlatView:
+        view = self._views.get(new_r)
+        if view is not None:
+            self._stats.view_hits += 1
+            return view
+        view = self._derive(base, moved_idx, new_r, step)
+        self._stats.view_derives += 1
+        self._store(new_r, view)
+        return view
+
+    def _store(self, r: Retiming, view: FlatView) -> None:
+        if len(self._views) >= self.max_views:
+            self._views.clear()
+            self._stats.view_evictions += 1
+        self._views[r] = view
+
+    def _build(self, r: Retiming) -> FlatView:
+        fg = self.fg
+        self._stats.view_builds += 1
+        self._stats.edges_rescanned += fg.m
+        rv = fg.rvec(r)
+        dr = retimed_delays(fg, rv)
+        zsucc, zpred = zero_delay_lists(fg, dr)
+        order = flat_topological_order(zsucc)
+        if order is None:
+            raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, r))
+        if self.priority == "mobility":
+            self._stats.priority_full_rebuilds += 1
+        reach, heights, skey = flat_priority_columns(
+            self.priority, self.fm.node_time, zsucc, order
+        )
+        return FlatView(r, rv, dr, zsucc, zpred, order, skey, reach, heights)
+
+    def _derive(self, base: FlatView, moved_idx: Sequence[int], new_r: Retiming, step: int) -> FlatView:
+        """The view of ``new_r = base.r (+) step * moved`` in O(edges
+        incident to moved) plus a dirty-set priority repair (mirrors
+        ViewCache._derive)."""
+        fg = self.fg
+        # The retiming changes only at moved nodes — and a rotation bumps
+        # each by exactly ``step`` — so the dense vector updates without
+        # touching the Retiming mapping at all.
+        rv = list(base.rv)
+        for i in moved_idx:
+            rv[i] += step
+        dr = list(base.dr)
+        esrc, edst, edelay = fg.esrc, fg.edst, fg.edelay
+        inc_at = fg.inc_at
+        changed_src: Set[int] = set()
+        changed_dst: Set[int] = set()
+        seen = 0  # edge-position bitmask
+        scanned = 0
+        for i in moved_idx:
+            for k in inc_at[i]:
+                bit = 1 << k
+                if seen & bit:
+                    continue
+                seen |= bit
+                scanned += 1
+                u, w = esrc[k], edst[k]
+                nd = edelay[k] + rv[u] - rv[w]
+                old = dr[k]
+                if nd == old:
+                    continue
+                dr[k] = nd
+                if (old == 0) != (nd == 0):
+                    changed_src.add(u)
+                    changed_dst.add(w)
+        self._stats.edges_rescanned += scanned
+
+        if not changed_src and not changed_dst:
+            self._stats.priority_entries_reused += fg.n
+            return FlatView(
+                new_r, rv, dr, base.zsucc, base.zpred, base.order,
+                base.skey, base.reach, base.heights,
+            )
+
+        zsucc = list(base.zsucc)
+        zpred = list(base.zpred)
+        out_at, in_at = fg.out_at, fg.in_at
+        for u in changed_src:
+            lst: List[int] = []
+            for k in out_at[u]:
+                if dr[k] == 0:
+                    w = edst[k]
+                    if w not in lst:
+                        lst.append(w)
+            zsucc[u] = lst
+        for v in changed_dst:
+            lst = []
+            for k in in_at[v]:
+                if dr[k] == 0:
+                    u = esrc[k]
+                    if u not in lst:
+                        lst.append(u)
+            zpred[v] = lst
+
+        times = self.fm.node_time
+        if self.priority == "mobility":
+            order = flat_topological_order(zsucc)
+            if order is None:
+                raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, new_r))
+            _, _, skey = flat_priority_columns("mobility", times, zsucc, order)
+            self._stats.priority_full_rebuilds += 1
+            return FlatView(new_r, rv, dr, zsucc, zpred, order, skey, None, None)
+
+        # Dirty set: nodes whose successor list changed plus all their
+        # zero-delay ancestors in either the old or the new DAG.  On deep
+        # graphs a change near the sinks dirties almost every node, at
+        # which point the repair bookkeeping costs more than recomputing —
+        # abort the walk past half the graph and rebuild the priority
+        # columns wholesale instead.
+        limit = fg.n // 2
+        self._derive_seq += 1
+        skip_walk = self._walk_misses >= 12 and self._derive_seq & 31
+        stack: List[int] = []
+        dirty: Set[int] = set()
+        if not skip_walk:
+            dirty = set(changed_src)
+            stack = list(changed_src)
+            while stack and len(dirty) <= limit:
+                nidx = stack.pop()
+                for u in base.zpred[nidx]:
+                    if u not in dirty:
+                        dirty.add(u)
+                        stack.append(u)
+                for u in zpred[nidx]:
+                    if u not in dirty:
+                        dirty.add(u)
+                        stack.append(u)
+        if skip_walk or stack:
+            if stack:
+                self._walk_misses += 1
+            order = flat_topological_order(zsucc)
+            if order is None:  # pragma: no cover - rotations preserve legality
+                raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, new_r))
+            reach, heights, skey = flat_priority_columns(
+                self.priority, times, zsucc, order
+            )
+            self._stats.priority_full_rebuilds += 1
+            return FlatView(new_r, rv, dr, zsucc, zpred, order, skey, reach, heights)
+        self._walk_misses = 0
+        self._stats.dirty_priority_nodes += len(dirty)
+        self._stats.priority_entries_reused += fg.n - len(dirty)
+
+        # Children-first walk of the dirty set (postorder DFS restricted to
+        # dirty nodes of the acyclic zero-delay DAG).
+        post: List[int] = []
+        visited: Set[int] = set()
+        for root in dirty:
+            if root in visited:
+                continue
+            visited.add(root)
+            dfs = [(root, iter(zsucc[root]))]
+            while dfs:
+                node, it = dfs[-1]
+                descended = False
+                for w in it:
+                    if w in dirty and w not in visited:
+                        visited.add(w)
+                        dfs.append((w, iter(zsucc[w])))
+                        descended = True
+                        break
+                if not descended:
+                    post.append(node)
+                    dfs.pop()
+
+        reach = heights = None
+        if base.reach is not None:
+            reach = list(base.reach)
+            for v in post:
+                acc = 0
+                for w in zsucc[v]:
+                    acc |= (1 << w) | reach[w]
+                reach[v] = acc
+        if base.heights is not None:
+            heights = list(base.heights)
+            for v in post:
+                best = 0
+                for w in zsucc[v]:
+                    hw = heights[w]
+                    if hw > best:
+                        best = hw
+                heights[v] = best + times[v]
+        skey = list(base.skey)
+        priority = self.priority
+        if priority == "descendants":
+            for v in dirty:
+                skey[v] = (-reach[v].bit_count(), v)
+        elif priority == "height":
+            for v in dirty:
+                skey[v] = (-heights[v], v)
+        else:  # combined
+            for v in dirty:
+                skey[v] = (-heights[v], -reach[v].bit_count(), v)
+        return FlatView(new_r, rv, dr, zsucc, zpred, None, skey, reach, heights)
+
+    # -- chain tip ------------------------------------------------------
+    def _finish(self, start: List[int], units: List[int], grid: FlatGrid) -> Tuple[int, Schedule]:
+        """Normalize the start vector, adopt the vectors as the live chain
+        tip, and build the resulting :class:`Schedule` — one fused pass.
+
+        Returns ``(token, schedule)``; the token marks states this engine
+        can delta-rotate without reseeding (see RotationEngine's protocol).
+        """
+        fg = self.fg
+        lat = self.fm.node_latency
+        lo = min(start)
+        last = 0
+        if lo:
+            grid.shift(-lo)
+            for i in range(fg.n):
+                s = start[i] - lo
+                start[i] = s
+                f = s + lat[i]
+                if f > last:
+                    last = f
+        else:
+            for i in range(fg.n):
+                f = start[i] + lat[i]
+                if f > last:
+                    last = f
+        self._next_token += 1
+        token = self._next_token
+        self._grid = grid
+        self._grid_token = token
+        self._start_list = start
+        self._unit_list = units
+        sched = Schedule.from_complete(
+            self.graph, self.model,
+            dict(zip(fg.nodes, start)), dict(zip(fg.nodes, units)),
+            first=0, last=last - 1,
+        )
+        return token, sched
+
+    def _tip_vectors(self, state, sched) -> Tuple[List[int], List[int]]:
+        """Current start/unit vectors: the chain tip's when the state is the
+        tip, otherwise rebuilt from the (normalized) schedule."""
+        if (
+            state.engine_token is not None
+            and state.engine_token == self._grid_token
+        ):
+            return self._start_list, self._unit_list
+        fg = self.fg
+        return (
+            [sched.start(v) for v in fg.nodes],
+            [sched.unit_index(v) for v in fg.nodes],
+        )
+
+    # -- engine-backed RotationState operations ------------------------
+    def initial_state(self, retiming: Optional[Retiming] = None):
+        """Engine-backed ``RotationState.initial``: FullSchedule(G_r)."""
+        from repro.core.rotation import RotationState
+
+        r = retiming if retiming is not None else Retiming.zero()
+        view = self._get_view(r)  # raises ZeroDelayCycleError like full_schedule
+        fg, fm = self.fg, self.fm
+        start: List[Optional[int]] = [None] * fg.n
+        units: List[Optional[int]] = [None] * fg.n
+        grid = FlatGrid(fm)
+        flat_list_schedule(
+            fg, fm, view.zsucc, view.zpred, view.skey,
+            start, units, range(fg.n), 0, grid,
+        )
+        token, sched = self._finish(start, units, grid)
+        self._tip_view = view
+        self._stats.initial_schedules += 1
+        return RotationState(
+            self.graph, self.model, r, sched,
+            self.priority, engine=self, engine_token=token,
+        )
+
+    def down_rotate(self, state, size: int):
+        """Engine-backed ``DownRotate(G, s, i)`` — behaviorally identical to
+        the naive and dict-engine paths, over flat vectors."""
+        from repro.core.rotation import RotationState, RotationStep
+
+        if size < 1:
+            raise RotationError(f"rotation size must be >= 1, got {size}")
+        if size >= state.length:
+            raise RotationError(
+                f"rotation of size {size} is illegal on a schedule of length {state.length}"
+            )
+        fg, fm = self.fg, self.fm
+        sched = state.schedule.normalized()
+        first = sched.first_cs
+        tip_match = (
+            state.engine_token is not None
+            and state.engine_token == self._grid_token
+        )
+        use_tip = tip_match and self._grid is not None
+        cur_start, cur_units = self._tip_vectors(state, sched)
+        hi = first + size - 1
+        moved_idx = [i for i, s in enumerate(cur_start) if first <= s <= hi]
+        moved_nodes = [fg.nodes[i] for i in moved_idx]
+        moved_set = set(moved_idx)
+
+        view = self._tip_view if tip_match else self._get_view(state.retiming)
+        dr = view.dr
+        esrc = fg.esrc
+        for i in moved_idx:
+            for k in fg.in_at[i]:
+                if dr[k] < 1 and esrc[k] not in moved_set:
+                    raise RotationError(
+                        f"schedule prefix {moved_nodes!r} is not down-rotatable — "
+                        "the current schedule is not a legal DAG schedule of G_R"
+                    )  # pragma: no cover - guarded by construction
+        new_r = state.retiming.bumped(moved_nodes)
+        self._stats.rotations += 1
+
+        if not moved_idx:  # pragma: no cover - impossible on a normalized schedule
+            new_sched = sched.shifted(-size).normalized()
+            step = RotationStep("down", size, (), sched.length, new_sched.length)
+            return RotationState(
+                self.graph, self.model, new_r, new_sched, state.priority,
+                state.trace + (step,), engine=self, engine_token=None,
+            )
+
+        new_view = self._advance(view, moved_idx, new_r, 1)
+
+        start = [s - size for s in cur_start]
+        units = list(cur_units)
+        for i in moved_idx:
+            start[i] = None
+            units[i] = None
+        if use_tip:
+            # Delta path: free the rotated prefix, O(1)-shift the remainder.
+            grid = self._grid
+            self._grid = None  # the grid now belongs to this rotation
+            grid.release_many(moved_idx, cur_start, cur_units)
+            self._stats.grid_released_slots += len(moved_idx)
+            grid.shift(-size)
+            self._stats.grid_delta_rotations += 1
+        else:
+            grid = seed_grid(fg, fm, start, units)
+            self._stats.grid_reseeds += 1
+
+        flat_list_schedule(
+            fg, fm, new_view.zsucc, new_view.zpred, new_view.skey,
+            start, units, moved_idx, 0, grid,
+        )
+        token, new_sched = self._finish(start, units, grid)
+        self._tip_view = new_view
+        step = RotationStep("down", size, tuple(moved_nodes), sched.length, new_sched.length)
+        return RotationState(
+            self.graph, self.model, new_r, new_sched, state.priority,
+            state.trace + (step,), engine=self, engine_token=token,
+        )
+
+    def up_rotate(self, state, size: int):
+        """Engine-backed up-rotation (latest-fit) — behaviorally identical to
+        the naive ``RotationState.up_rotate`` path."""
+        from repro.core.rotation import RotationState, RotationStep
+
+        if size < 1:
+            raise RotationError(f"rotation size must be >= 1, got {size}")
+        if size >= state.length:
+            raise RotationError(
+                f"rotation of size {size} is illegal on a schedule of length {state.length}"
+            )
+        fg, fm = self.fg, self.fm
+        sched = state.schedule.normalized()
+        last = sched.last_cs
+        tip_match = (
+            state.engine_token is not None
+            and state.engine_token == self._grid_token
+        )
+        use_tip = tip_match and self._grid is not None
+        cur_start, cur_units = self._tip_vectors(state, sched)
+        lo = last - size + 1
+        moved_idx = [i for i, s in enumerate(cur_start) if lo <= s <= last]
+        moved_nodes = [fg.nodes[i] for i in moved_idx]
+        moved_set = set(moved_idx)
+
+        view = self._tip_view if tip_match else self._get_view(state.retiming)
+        dr = view.dr
+        edst = fg.edst
+        for i in moved_idx:
+            for k in fg.out_at[i]:
+                if dr[k] < 1 and edst[k] not in moved_set:
+                    raise RotationError(f"suffix {moved_nodes!r} is not up-rotatable")
+        new_r = state.retiming.bumped(moved_nodes, -1)
+        self._stats.rotations += 1
+
+        new_view = self._advance(view, moved_idx, new_r, -1)
+
+        start = list(cur_start)
+        units = list(cur_units)
+        for i in moved_idx:
+            start[i] = None
+            units[i] = None
+        if use_tip:
+            grid = self._grid
+            self._grid = None
+            grid.release_many(moved_idx, cur_start, cur_units)
+            self._stats.grid_released_slots += len(moved_idx)
+            self._stats.grid_delta_rotations += 1
+        else:
+            grid = seed_grid(fg, fm, start, units)
+            self._stats.grid_reseeds += 1
+
+        flat_latest_fit(
+            fg, fm, new_view.zsucc, new_view.zpred,
+            start, units, moved_idx, last, grid,
+        )
+        token, new_sched = self._finish(start, units, grid)
+        self._tip_view = new_view
+        step = RotationStep("up", size, tuple(moved_nodes), sched.length, new_sched.length)
+        return RotationState(
+            self.graph, self.model, new_r, new_sched, state.priority,
+            state.trace + (step,), engine=self, engine_token=token,
+        )
+
+    def fp_state(self, state) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Engine-backed ``RotationState.fingerprint`` — the same
+        ``(normalized starts, rotation counts)`` key read straight from the
+        chain tip's vectors and the cached view's dense retiming, skipping
+        one dict lookup per node on the hot dedup path."""
+        if (
+            state.engine_token is not None
+            and state.engine_token == self._grid_token
+        ):
+            return tuple(self._start_list), tuple(self._tip_view.rv)
+        sched = state.schedule
+        lo = sched.first_cs
+        starts = tuple(sched.start(v) - lo for v in self.fg.nodes)
+        return starts, tuple(self._get_view(state.retiming).rv)
+
+    def wrap_state(self, state) -> WrappedSchedule:
+        """Engine-backed :func:`repro.core.wrapping.wrap` of a state — the
+        same minimum-period search over the flat columns."""
+        sched = state.schedule.normalized()
+        fg = self.fg
+        if (
+            state.engine_token is not None
+            and state.engine_token == self._grid_token
+        ):
+            starts = self._start_list
+            view = self._tip_view
+        else:
+            starts = [sched.start(v) for v in fg.nodes]
+            view = self._get_view(state.retiming)
+        period = flat_wrap_period(fg, self.fm, starts, view.dr)
+        return WrappedSchedule(sched, state.retiming, period)

@@ -28,7 +28,7 @@ from repro.dfg.graph import DFG
 from repro.dfg.retiming import Retiming
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
-from repro.core.engine import RotationEngine, strip_funcs
+from repro.core.engine import make_engine, strip_funcs
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule, wrap
 
@@ -51,7 +51,7 @@ class BestTracker:
     def offer(self, state: RotationState) -> WrappedSchedule:
         """Score a state (wrapped length) and record it if it ties or wins."""
         self.offers += 1
-        wrapped = wrap(state.schedule, state.retiming)
+        wrapped = state.wrapped()
         if self.length is None or wrapped.period < self.length:
             self.length = wrapped.period
             self.entries = [(state, wrapped)]
@@ -132,9 +132,9 @@ def _h1_phase_worker(payload) -> BestTracker:
     shipping it, and does *not* offer it — the parent offers the initial
     state exactly once, like the sequential path.
     """
-    graph, model, priority, size, beta, cap, use_engine = payload
+    graph, model, priority, size, beta, cap, backend = payload
     state = RotationState.initial(
-        graph, model, priority, engine=None if use_engine else False
+        graph, model, priority, engine=make_engine(backend, graph, model, priority)
     )
     local = BestTracker(cap=cap)
     rotation_phase(state, size, beta, local)
@@ -176,7 +176,7 @@ def _run_phases_parallel(
     cap: int,
     sizes: Sequence[int],
     workers: int,
-    use_engine: bool,
+    backend: str,
 ) -> Optional[List[BestTracker]]:
     """Run independent phases across processes; None when the pool or the
     payload cannot be used (caller falls back to the sequential loop)."""
@@ -193,7 +193,7 @@ def _run_phases_parallel(
             futures = {
                 pool.submit(
                     _h1_phase_worker,
-                    (payload_graph, model, priority, size, beta, cap, use_engine),
+                    (payload_graph, model, priority, size, beta, cap, backend),
                 ): i
                 for i, size in enumerate(sizes)
             }
@@ -231,9 +231,9 @@ def heuristic_1(
             identical to the sequential run.  Falls back to sequential
             execution when multiprocessing is unavailable.
     """
-    use_engine = engine is not False
     if engine is None:
-        engine = RotationEngine(graph, model, priority)
+        engine = make_engine(None, graph, model, priority)
+    backend = "naive" if engine is False else getattr(engine, "backend_name", "views")
     initial = RotationState.initial(graph, model, priority, engine=engine)
     best = BestTracker(cap=cap)
     best.offer(initial)
@@ -244,7 +244,7 @@ def heuristic_1(
     sizes = list(range(1, sigma + 1))
     if workers is not None and workers > 1 and len(sizes) > 1:
         trackers = _run_phases_parallel(
-            graph, model, priority, beta, cap, sizes, workers, use_engine
+            graph, model, priority, beta, cap, sizes, workers, backend
         )
         if trackers is not None:
             for tracker in trackers:
@@ -275,7 +275,7 @@ def heuristic_2(
     """
     del workers  # phases are sequentially dependent
     if engine is None:
-        engine = RotationEngine(graph, model, priority)
+        engine = make_engine(None, graph, model, priority)
     state = RotationState.initial(graph, model, priority, engine=engine)
     best = BestTracker(cap=cap)
     best.offer(state)

@@ -42,7 +42,8 @@ from repro.dfg.analysis import (
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.schedule.list_scheduler import OccupancyGrid, full_schedule, partial_schedule
-from repro.core.engine import RotationEngine
+from repro.core.engine import RotationEngine, make_engine
+from repro.core.wrapping import WrappedSchedule, wrap
 from repro.errors import RotationError
 
 
@@ -97,15 +98,16 @@ class RotationState:
         """Start from ``FullSchedule(G_r)`` (list scheduling, paper default).
 
         Args:
-            engine: ``None`` (default) attaches a fresh
-                :class:`RotationEngine`; an existing engine instance shares
-                its caches (heuristics reuse one across re-seedings);
-                ``False`` selects the cache-free naive path.
+            engine: ``None`` (default) attaches a fresh engine for the
+                default backend (see :func:`repro.core.engine.make_engine`);
+                an existing engine instance shares its caches (heuristics
+                reuse one across re-seedings); ``False`` selects the
+                cache-free naive path.
         """
         r = retiming if retiming is not None else Retiming.zero()
         if engine is None:
-            engine = RotationEngine(graph, model, priority)
-        if isinstance(engine, RotationEngine):
+            engine = make_engine(None, graph, model, priority)
+        if engine is not False:
             if not (
                 engine.graph is graph
                 and engine.model is model
@@ -138,15 +140,35 @@ class RotationState:
         key :class:`repro.core.phases.BestTracker` dedups on)."""
         fp = self.__dict__.get("_fp")
         if fp is None:
-            sched = self.schedule
-            lo = sched.first_cs
-            r = self.retiming
-            fp = (
-                tuple(sched.start(v) - lo for v in self.graph.nodes),
-                tuple(r[v] for v in self.graph.nodes),
-            )
+            eng = self.engine
+            fp_state = getattr(eng, "fp_state", None)
+            if fp_state is not None and eng.compatible_with(self):
+                fp = fp_state(self)
+            else:
+                sched = self.schedule
+                lo = sched.first_cs
+                r = self.retiming
+                fp = (
+                    tuple(sched.start(v) - lo for v in self.graph.nodes),
+                    tuple(r[v] for v in self.graph.nodes),
+                )
             object.__setattr__(self, "_fp", fp)
         return fp
+
+    def wrapped(self) -> "WrappedSchedule":
+        """This state's wrapped schedule (:func:`repro.core.wrapping.wrap`),
+        cached on the state and served by the attached engine's flat period
+        search when one is available — bit-identical either way."""
+        w = self.__dict__.get("_wrapped")
+        if w is None:
+            eng = self.engine
+            wrap_state = getattr(eng, "wrap_state", None)
+            if wrap_state is not None and eng.compatible_with(self):
+                w = wrap_state(self)
+            else:
+                w = wrap(self.schedule, self.retiming)
+            object.__setattr__(self, "_wrapped", w)
+        return w
 
     # ------------------------------------------------------------------
     @property
@@ -232,6 +254,11 @@ class RotationState:
             raise RotationError(
                 f"rotation of size {size} is illegal on a schedule of length {self.length}"
             )
+        eng = self.engine
+        if eng is not None and eng.compatible_with(self):
+            up = getattr(eng, "up_rotate", None)
+            if up is not None:
+                return up(self, size)
         sched = self.schedule.normalized()
         last = sched.last_cs
         moved = sched.nodes_starting_in(last - size + 1, last)

@@ -25,7 +25,7 @@ from repro.dfg.retiming import Retiming
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.schedule.verify import realizing_retiming
-from repro.core.engine import RotationEngine
+from repro.core.engine import BACKENDS, make_engine
 from repro.core.phases import HEURISTICS, BestTracker
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule
@@ -82,11 +82,15 @@ class RotationScheduler:
         sigma: phase-size range (default: initial schedule length - 1).
         priority: list-scheduling priority name or callable.
         cap: number of tied-optimal schedules to retain.
-        use_engine: attach a :class:`RotationEngine` (incremental caches);
-            False selects the recompute-everything path the engine is
-            parity-tested against.
+        use_engine: attach an acceleration engine (incremental caches);
+            False selects the recompute-everything path the engines are
+            parity-tested against.  Kept for backward compatibility —
+            ``backend`` is the richer switch.
         workers: process-pool size for heuristic 1's independent phases
             (ignored by heuristic 2, whose phases form a chain).
+        backend: ``"flat"`` (integer kernels, default), ``"views"`` (dict
+            engine), or ``"naive"``; ``None`` resolves from ``use_engine``.
+            All three produce bit-identical results.
     """
 
     def __init__(
@@ -99,10 +103,17 @@ class RotationScheduler:
         cap: int = 64,
         use_engine: bool = True,
         workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ):
         if heuristic not in HEURISTICS:
             raise SchedulingError(
                 f"unknown heuristic {heuristic!r}; choose from {sorted(HEURISTICS)}"
+            )
+        if backend is None:
+            backend = "flat" if use_engine else "naive"
+        elif backend not in BACKENDS:
+            raise SchedulingError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
             )
         self.model = model
         self.heuristic = heuristic
@@ -110,17 +121,14 @@ class RotationScheduler:
         self.sigma = sigma
         self.priority = priority
         self.cap = cap
-        self.use_engine = use_engine
+        self.backend = backend
+        self.use_engine = backend != "naive"
         self.workers = workers
 
     def schedule(self, graph: DFG) -> RotationResult:
         """Run the configured heuristic and post-process the best schedule."""
         t0 = time.perf_counter()
-        engine = (
-            RotationEngine(graph, self.model, self.priority)
-            if self.use_engine
-            else False
-        )
+        engine = make_engine(self.backend, graph, self.model, self.priority)
         initial = RotationState.initial(graph, self.model, self.priority, engine=engine)
         best: BestTracker = HEURISTICS[self.heuristic](
             graph,
@@ -156,7 +164,7 @@ class RotationScheduler:
             rotations_performed=best.offers - 1,
             elapsed_seconds=elapsed,
             alternates=alternates,
-            engine_stats=engine.stats() if self.use_engine else None,
+            engine_stats=engine.stats() if engine is not False else None,
         )
 
 
@@ -169,6 +177,7 @@ def rotation_schedule(
     priority="descendants",
     use_engine: bool = True,
     workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> RotationResult:
     """One-call convenience wrapper around :class:`RotationScheduler`."""
     return RotationScheduler(
@@ -179,4 +188,5 @@ def rotation_schedule(
         priority=priority,
         use_engine=use_engine,
         workers=workers,
+        backend=backend,
     ).schedule(graph)

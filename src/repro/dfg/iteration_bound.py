@@ -31,7 +31,33 @@ from repro.dfg.analysis import topological_order  # validates zero-delay acyclic
 from repro.errors import GraphError, ZeroDelayCycleError
 
 
-def _has_cycle_with_ratio(graph: DFG, timing: Optional[Timing], lam: Fraction, strict: bool) -> bool:
+#: per-edge integer columns for the parametric probes:
+#: ``(num_nodes, src_index, dst_index, delay, t(src))``.
+ConstraintArrays = Tuple[int, List[int], List[int], List[int], List[int]]
+
+
+def _constraint_arrays(graph: DFG, timing: Optional[Timing]) -> ConstraintArrays:
+    """Compile the constraint graph once for the whole binary search.
+
+    Every probe needs the same four per-edge numbers — source index,
+    destination index, delay, and source computation time — so they are
+    extracted from the object graph a single time and each probe becomes
+    pure integer array arithmetic.
+    """
+    index = {v: i for i, v in enumerate(graph.nodes)}
+    esrc: List[int] = []
+    edst: List[int] = []
+    edelay: List[int] = []
+    etsrc: List[int] = []
+    for e in graph.edges:
+        esrc.append(index[e.src])
+        edst.append(index[e.dst])
+        edelay.append(e.delay)
+        etsrc.append(graph.time(e.src, timing))
+    return graph.num_nodes, esrc, edst, edelay, etsrc
+
+
+def _arrays_have_cycle(arrays: ConstraintArrays, lam: Fraction, strict: bool) -> bool:
     """Does a cycle with ratio ``> lam`` (strict) / ``>= lam`` exist?
 
     Uses Bellman–Ford negative-cycle detection on integer edge weights
@@ -40,29 +66,34 @@ def _has_cycle_with_ratio(graph: DFG, timing: Optional[Timing], lam: Fraction, s
     For the non-strict test, weights are scaled so that integer cycle sums
     ``<= 0`` become strictly negative.
     """
+    n, esrc, edst, edelay, etsrc = arrays
+    m = len(esrc)
     p, q = lam.numerator, lam.denominator
-    scale = graph.num_edges + 1 if not strict else 1
-    weight: Dict[int, int] = {}
-    for e in graph.edges:
-        a = p * e.delay - q * graph.time(e.src, timing)
-        weight[e.eid] = a * scale - (0 if strict else 1)
+    scale = 1 if strict else m + 1
+    sub = 0 if strict else 1
+    weight = [(p * edelay[k] - q * etsrc[k]) * scale - sub for k in range(m)]
 
     # Bellman-Ford from a virtual source connected to every node (dist 0).
-    dist: Dict[NodeId, int] = {v: 0 for v in graph.nodes}
-    for _ in range(graph.num_nodes):
+    dist = [0] * n
+    for _ in range(n):
         changed = False
-        for e in graph.edges:
-            nd = dist[e.src] + weight[e.eid]
-            if nd < dist[e.dst]:
-                dist[e.dst] = nd
+        for k in range(m):
+            nd = dist[esrc[k]] + weight[k]
+            if nd < dist[edst[k]]:
+                dist[edst[k]] = nd
                 changed = True
         if not changed:
             return False
     # one more pass: any further relaxation proves a negative cycle
-    for e in graph.edges:
-        if dist[e.src] + weight[e.eid] < dist[e.dst]:
+    for k in range(m):
+        if dist[esrc[k]] + weight[k] < dist[edst[k]]:
             return True
     return False
+
+
+def _has_cycle_with_ratio(graph: DFG, timing: Optional[Timing], lam: Fraction, strict: bool) -> bool:
+    """One-shot form of :func:`_arrays_have_cycle` (compiles, then probes)."""
+    return _arrays_have_cycle(_constraint_arrays(graph, timing), lam, strict)
 
 
 def _cycle_digraph(graph: DFG, timing: Optional[Timing]):
@@ -135,12 +166,19 @@ def critical_cycle(graph: DFG, timing: Optional[Timing] = None) -> Tuple[Fractio
 
 
 def iteration_bound_parametric(graph: DFG, timing: Optional[Timing] = None) -> Fraction:
-    """Exact iteration bound by parametric negative-cycle binary search."""
+    """Exact iteration bound by parametric negative-cycle binary search.
+
+    The constraint graph is compiled to integer arrays once
+    (:func:`_constraint_arrays`) and reused by every probe — the binary
+    search and the rational snap issue ~85 of them, so the object-graph
+    walk is hoisted out of the loop entirely.
+    """
     topological_order(graph)  # zero-delay legality check
     total_delay = graph.total_delay()
     if total_delay == 0:
         return Fraction(0)
-    if not _has_cycle_with_ratio(graph, timing, Fraction(0), strict=True):
+    arrays = _constraint_arrays(graph, timing)
+    if not _arrays_have_cycle(arrays, Fraction(0), strict=True):
         # no cycle with positive ratio => acyclic graph (times are positive)
         return Fraction(0)
 
@@ -148,7 +186,7 @@ def iteration_bound_parametric(graph: DFG, timing: Optional[Timing] = None) -> F
     lo_f, hi_f = 0.0, float(hi)
     for _ in range(80):
         mid = (lo_f + hi_f) / 2.0
-        if _has_cycle_with_ratio(graph, timing, Fraction(mid).limit_denominator(10**9), strict=True):
+        if _arrays_have_cycle(arrays, Fraction(mid).limit_denominator(10**9), strict=True):
             lo_f = mid
         else:
             hi_f = mid
@@ -156,23 +194,28 @@ def iteration_bound_parametric(graph: DFG, timing: Optional[Timing] = None) -> F
     estimate = (lo_f + hi_f) / 2.0
     for dmax in (total_delay, 10 * total_delay, 10**6):
         candidate = Fraction(estimate).limit_denominator(dmax)
-        if _is_exact_bound(graph, timing, candidate):
+        if _arrays_exact_bound(arrays, candidate):
             return candidate
         # try the neighbours reachable within the residual interval
         for f in (lo_f, hi_f):
             candidate = Fraction(f).limit_denominator(dmax)
-            if _is_exact_bound(graph, timing, candidate):
+            if _arrays_exact_bound(arrays, candidate):
                 return candidate
     raise GraphError("parametric iteration bound failed to converge")  # pragma: no cover
 
 
-def _is_exact_bound(graph: DFG, timing: Optional[Timing], lam: Fraction) -> bool:
+def _arrays_exact_bound(arrays: ConstraintArrays, lam: Fraction) -> bool:
     """``lam`` is the exact bound iff some cycle attains it and none exceeds it."""
     if lam <= 0:
         return False
-    return _has_cycle_with_ratio(graph, timing, lam, strict=False) and not _has_cycle_with_ratio(
-        graph, timing, lam, strict=True
+    return _arrays_have_cycle(arrays, lam, strict=False) and not _arrays_have_cycle(
+        arrays, lam, strict=True
     )
+
+
+def _is_exact_bound(graph: DFG, timing: Optional[Timing], lam: Fraction) -> bool:
+    """One-shot form of :func:`_arrays_exact_bound` (compiles, then probes)."""
+    return _arrays_exact_bound(_constraint_arrays(graph, timing), lam)
 
 
 def iteration_bound(

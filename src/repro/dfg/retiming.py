@@ -81,6 +81,26 @@ class Retiming(Mapping[NodeId, int]):
     def __add__(self, other: "Retiming") -> "Retiming":
         return self.compose(other)
 
+    def bumped(self, nodes: Iterable[NodeId], step: int = 1) -> "Retiming":
+        """``self (+) step * indicator(nodes)`` without the intermediate.
+
+        Equivalent to ``self + Retiming.of_set(nodes)`` for ``step=1`` (a
+        down-rotation) and to adding its negation for ``step=-1`` (an
+        up-rotation); the rotation engines call this once per rotation, so
+        it skips the indicator retiming and the re-normalizing ``__init__``.
+        """
+        values = dict(self._values)
+        for v in nodes:
+            k = values.get(v, 0) + step
+            if k:
+                values[v] = k
+            else:
+                del values[v]
+        out = Retiming.__new__(Retiming)
+        out._values = values
+        out._hash = None
+        return out
+
     def negated(self) -> "Retiming":
         """Pointwise negation (turns a down-rotation into an up-rotation)."""
         return Retiming({v: -k for v, k in self._values.items()})

@@ -158,9 +158,13 @@ def check_semantics(
 
 
 def check_parity(
-    engine: RotationResult, naive: RotationResult
+    engine: RotationResult, naive: RotationResult, label: str = ""
 ) -> List[OracleFailure]:
-    """Engine-on vs engine-off bit-parity of the full outcome."""
+    """Bit-parity of two scheduling outcomes (engine backend vs reference).
+
+    ``label`` names the pair under test (e.g. ``"flat vs naive"``) so a
+    three-way backend comparison reports which backend diverged.
+    """
     problems: List[str] = []
     if engine.length != naive.length:
         problems.append(f"length {engine.length} != {naive.length}")
@@ -177,7 +181,8 @@ def check_parity(
         problems.append(
             f"retimings differ: {engine.retiming!r} != {naive.retiming!r}"
         )
-    return [OracleFailure("parity", p) for p in problems]
+    prefix = f"{label}: " if label else ""
+    return [OracleFailure("parity", prefix + p) for p in problems]
 
 
 def certify_rotation(

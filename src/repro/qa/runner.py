@@ -13,7 +13,7 @@ Scheduler paths:
 ========== ==========================================================
 ``h1``      rotation scheduling, heuristic 1, incremental engine on
 ``h2``      rotation scheduling, heuristic 2, incremental engine on
-``parity``  h2 with engine on *and* off; results must match bit-for-bit
+``parity``  h2 under every backend (flat / views / naive); bit-identical
 ``dag_list``   non-pipelined DAG list-scheduling baseline
 ``modulo``     iterative modulo scheduling baseline (flat + kernel forms)
 ``retime_ls``  retime-then-list-schedule baseline
@@ -147,9 +147,14 @@ def _run_path(graph: DFG, model: ResourceModel, path: str) -> List[OracleFailure
         result = rotation_schedule(graph, model, heuristic=path)
         return certify_rotation(graph, model, result)
     if path == "parity":
-        engine = rotation_schedule(graph, model, heuristic="h2", use_engine=True)
-        naive = rotation_schedule(graph, model, heuristic="h2", use_engine=False)
-        return check_parity(engine, naive) + certify_rotation(graph, model, engine)
+        flat = rotation_schedule(graph, model, heuristic="h2", backend="flat")
+        views = rotation_schedule(graph, model, heuristic="h2", backend="views")
+        naive = rotation_schedule(graph, model, heuristic="h2", backend="naive")
+        return (
+            check_parity(flat, naive, "flat vs naive")
+            + check_parity(views, naive, "views vs naive")
+            + certify_rotation(graph, model, flat)
+        )
     if path == "dag_list":
         from repro.baselines.dag_list import dag_list_schedule
 
@@ -214,6 +219,88 @@ def smoke_cases() -> List[FuzzCase]:
 # ----------------------------------------------------------------------
 # the fuzz loop
 # ----------------------------------------------------------------------
+def _record_failure(
+    report: FuzzReport,
+    case: FuzzCase,
+    graph: DFG,
+    failures: List[OracleFailure],
+    out_dir: str,
+    shrink: bool,
+) -> None:
+    """Shrink a failing cell's graph, write its bundle, append the record."""
+    primary = failures[0].oracle
+    minimized = graph
+    if shrink:
+        minimized = shrink_graph(
+            graph,
+            lambda g: any(
+                f.oracle == primary
+                for f in run_cell_on_graph(g, case.config, case.path)
+            ),
+        )
+        # re-run on the minimized graph so the bundle records exactly
+        # what replaying it will show
+        failures = run_cell_on_graph(minimized, case.config, case.path)
+    bundle_path = write_bundle(out_dir, minimized, case.as_dict(), failures)
+    report.failures.append(
+        FailureRecord(
+            case=case,
+            failures=tuple(failures),
+            bundle_path=bundle_path,
+            shrunk_nodes=minimized.num_nodes,
+            shrunk_edges=minimized.num_edges,
+        )
+    )
+
+
+def _run_fuzz_parallel(
+    cases: Sequence[FuzzCase],
+    jobs: int,
+    budget_seconds: Optional[float],
+    max_cells: Optional[int],
+    out_dir: str,
+    shrink: bool,
+    t0: float,
+) -> Optional[FuzzReport]:
+    """Certify cells across a process pool; None when pools are unusable.
+
+    Workers run :func:`run_cell` only (graphs are rebuilt from their seeds
+    inside each worker, so nothing unpicklable crosses the boundary); the
+    parent collects results *in case order* and does all shrinking and
+    bundle writing itself, so failure reports are deterministic and
+    path-ordered exactly like the sequential loop's.
+    """
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        report = FuzzReport()
+        todo = list(cases if max_cells is None else cases[:max_cells])
+        report.skipped = len(cases) - len(todo)
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(run_cell, case) for case in todo]
+            for idx, (case, future) in enumerate(zip(todo, futures)):
+                if (
+                    budget_seconds is not None
+                    and time.perf_counter() - t0 > budget_seconds
+                ):
+                    for late in futures[idx:]:
+                        late.cancel()
+                    report.skipped += len(todo) - idx
+                    break
+                failures = future.result()
+                report.cells += 1
+                if not failures:
+                    report.clean += 1
+                    continue
+                _record_failure(
+                    report, case, case.build_graph(), failures, out_dir, shrink
+                )
+        report.elapsed = time.perf_counter() - t0
+        return report
+    except Exception:
+        return None
+
+
 def run_fuzz(
     cases: Sequence[FuzzCase],
     *,
@@ -221,6 +308,7 @@ def run_fuzz(
     max_cells: Optional[int] = None,
     out_dir: str = "artifacts/qa",
     shrink: bool = True,
+    jobs: Optional[int] = None,
 ) -> FuzzReport:
     """Certify every cell; shrink and bundle each failure.
 
@@ -232,8 +320,18 @@ def run_fuzz(
         out_dir: where repro bundles are written.
         shrink: delta-debug failing graphs before bundling (disable for
             speed when triaging interactively).
+        jobs: certify cells across this many worker processes (failures
+            are still reported deterministically in case order); ``None``
+            or ``1`` runs in-process.  Falls back to the sequential loop
+            when multiprocessing is unavailable.
     """
     t0 = time.perf_counter()
+    if jobs is not None and jobs > 1 and len(cases) > 1:
+        report = _run_fuzz_parallel(
+            cases, jobs, budget_seconds, max_cells, out_dir, shrink, t0
+        )
+        if report is not None:
+            return report
     report = FuzzReport()
     for idx, case in enumerate(cases):
         if max_cells is not None and idx >= max_cells:
@@ -248,28 +346,6 @@ def run_fuzz(
         if not failures:
             report.clean += 1
             continue
-        primary = failures[0].oracle
-        minimized = graph
-        if shrink:
-            minimized = shrink_graph(
-                graph,
-                lambda g: any(
-                    f.oracle == primary
-                    for f in run_cell_on_graph(g, case.config, case.path)
-                ),
-            )
-            # re-run on the minimized graph so the bundle records exactly
-            # what replaying it will show
-            failures = run_cell_on_graph(minimized, case.config, case.path)
-        bundle_path = write_bundle(out_dir, minimized, case.as_dict(), failures)
-        report.failures.append(
-            FailureRecord(
-                case=case,
-                failures=tuple(failures),
-                bundle_path=bundle_path,
-                shrunk_nodes=minimized.num_nodes,
-                shrunk_edges=minimized.num_edges,
-            )
-        )
+        _record_failure(report, case, graph, failures, out_dir, shrink)
     report.elapsed = time.perf_counter() - t0
     return report

@@ -67,6 +67,33 @@ class Schedule:
         self._first: Optional[int] = None
         self._last: Optional[int] = None
 
+    @classmethod
+    def from_complete(
+        cls,
+        graph: DFG,
+        model: ResourceModel,
+        start: Dict[NodeId, int],
+        units: Dict[NodeId, int],
+        first: Optional[int] = None,
+        last: Optional[int] = None,
+    ) -> "Schedule":
+        """Trusted constructor for producers that cover every node.
+
+        Skips the membership validation and the defensive dict copies of
+        ``__init__`` and takes ownership of ``start``/``units`` — only for
+        callers (the scheduling engines) that build complete maps keyed
+        exactly by ``graph.nodes``.  ``first``/``last`` pre-seed the lazy
+        span endpoints when the producer already knows them.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.model = model
+        self._start = start
+        self._units = units
+        self._first = first
+        self._last = last
+        return self
+
     # -- basic queries -----------------------------------------------------
     def start(self, node: NodeId) -> int:
         """Control step at which ``node`` starts."""

@@ -1,14 +1,16 @@
-"""Golden parity suite: the rotation engine must be pure acceleration.
+"""Golden parity suite: every acceleration backend must be pure speed.
 
 Every ``(benchmark, resource config, heuristic)`` cell runs the full
-heuristic twice — engine-backed and with ``use_engine=False`` (the
-recompute-everything path) — and asserts the outcomes are identical down
-to start maps, retimings and the set of tied-optimal schedules.  Any
-divergence means an engine cache leaked stale state into a decision.
+heuristic under all three backends — ``flat`` (integer kernels over CSR
+snapshots), ``views`` (the dict-based incremental engine), and ``naive``
+(recompute everything) — and asserts the outcomes are identical down to
+start maps, retimings and the set of tied-optimal schedules.  Any
+divergence means a backend cache leaked stale state into a decision.
 """
 
 import pytest
 
+from repro.core.engine import BACKENDS
 from repro.core.scheduler import rotation_schedule
 from repro.schedule.resources import ResourceModel
 from repro.suite import BENCHMARKS
@@ -23,38 +25,75 @@ CONFIGS = {
 @pytest.mark.parametrize("heuristic", ["h1", "h2"])
 @pytest.mark.parametrize("config", sorted(CONFIGS))
 @pytest.mark.parametrize("bench", sorted(BENCHMARKS))
-def test_engine_matches_naive_path(bench, config, heuristic):
+def test_backends_match_naive_path(bench, config, heuristic):
     graph = BENCHMARKS[bench].build()
     model = CONFIGS[config]
-    fast = rotation_schedule(graph, model, heuristic=heuristic)
-    slow = rotation_schedule(graph, model, heuristic=heuristic, use_engine=False)
-
-    assert fast.length == slow.length
-    assert fast.initial_length == slow.initial_length
-    assert fast.rotations_performed == slow.rotations_performed
-    assert fast.retiming == slow.retiming
-    assert fast.schedule.start_map == slow.schedule.start_map
-    assert fast.optimal_count == slow.optimal_count
-    # Same tied-optimal set, in the same discovery order.
-    assert [a.schedule.start_map for a in fast.alternates] == [
-        a.schedule.start_map for a in slow.alternates
-    ]
-    assert fast.engine_stats is not None and fast.engine_stats["rotations"] > 0
-    assert slow.engine_stats is None
+    results = {
+        backend: rotation_schedule(graph, model, heuristic=heuristic, backend=backend)
+        for backend in BACKENDS
+    }
+    naive = results["naive"]
+    assert naive.engine_stats is None
+    for backend in ("flat", "views"):
+        fast = results[backend]
+        assert fast.length == naive.length, backend
+        assert fast.initial_length == naive.initial_length, backend
+        assert fast.rotations_performed == naive.rotations_performed, backend
+        assert fast.retiming == naive.retiming, backend
+        assert fast.schedule.start_map == naive.schedule.start_map, backend
+        assert fast.optimal_count == naive.optimal_count, backend
+        # Same tied-optimal set, in the same discovery order.
+        assert [a.schedule.start_map for a in fast.alternates] == [
+            a.schedule.start_map for a in naive.alternates
+        ], backend
+        assert fast.engine_stats is not None and fast.engine_stats["rotations"] > 0
 
 
 def test_trace_parity_on_a_rotation_walk():
     """Step-by-step rotations agree on every intermediate state, not just
     the heuristic's final answer."""
+    from repro.core.engine import make_engine
     from repro.core.rotation import RotationState
 
     graph = BENCHMARKS["lattice"].build()
     model = CONFIGS["2A2M"]
-    fast = RotationState.initial(graph, model)
+    flat = RotationState.initial(graph, model)
+    views = RotationState.initial(
+        graph, model, engine=make_engine("views", graph, model)
+    )
     slow = RotationState.initial(graph, model, engine=False)
     for step in [1, 2, 1, 3, 1, 1, 2, 1]:
-        fast = fast.down_rotate(step)
+        flat = flat.down_rotate(step)
+        views = views.down_rotate(step)
         slow = slow.down_rotate(step)
+        assert flat.retiming == views.retiming == slow.retiming
+        assert (
+            flat.schedule.normalized().start_map
+            == views.schedule.normalized().start_map
+            == slow.schedule.normalized().start_map
+        )
+        assert flat.trace[-1] == views.trace[-1] == slow.trace[-1]
+        assert flat.wrapped().period == slow.wrapped().period
+
+
+def test_up_rotation_parity():
+    """The flat engine accelerates up_rotate (latest-fit); pin it against
+    the naive path on a down/up walk."""
+    from repro.core.rotation import RotationState
+
+    graph = BENCHMARKS["elliptic"].build()
+    model = CONFIGS["3A2M"]
+    fast = RotationState.initial(graph, model)
+    slow = RotationState.initial(graph, model, engine=False)
+    for kind, step in [("d", 2), ("d", 1), ("u", 1), ("d", 3), ("u", 2), ("u", 1)]:
+        if kind == "d":
+            fast, slow = fast.down_rotate(step), slow.down_rotate(step)
+        else:
+            fast, slow = fast.up_rotate(step), slow.up_rotate(step)
         assert fast.retiming == slow.retiming
-        assert fast.schedule.normalized().start_map == slow.schedule.normalized().start_map
+        assert (
+            fast.schedule.normalized().start_map
+            == slow.schedule.normalized().start_map
+        )
         assert fast.trace[-1] == slow.trace[-1]
+        assert fast.wrapped().period == slow.wrapped().period

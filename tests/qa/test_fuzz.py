@@ -113,3 +113,25 @@ class TestInjectedFailure:
         monkeypatch.undo()
         _, after_fix = replay_bundle(rec.bundle_path)
         assert after_fix == []
+
+class TestParallelFuzz:
+    def test_jobs_verdict_matches_sequential(self, tmp_path):
+        # --jobs is pure speed: same cells, same verdict, same (empty)
+        # failure list, reported in the same deterministic case order.
+        cases = grid_cases(seeds=[1], configs=("1A1M",), paths=("h2",))
+        seq = run_fuzz(cases, out_dir=str(tmp_path / "seq"))
+        par = run_fuzz(cases, out_dir=str(tmp_path / "par"), jobs=2)
+        assert (par.cells, par.clean, par.skipped) == (
+            seq.cells,
+            seq.clean,
+            seq.skipped,
+        )
+        assert [f.case.tag() for f in par.failures] == [
+            f.case.tag() for f in seq.failures
+        ]
+
+    def test_jobs_respects_max_cells(self, tmp_path):
+        cases = grid_cases(seeds=[1], configs=("1A1M",), paths=("h1", "h2"))
+        report = run_fuzz(cases, out_dir=str(tmp_path), jobs=2, max_cells=3)
+        assert report.cells == 3
+        assert report.skipped == len(cases) - 3

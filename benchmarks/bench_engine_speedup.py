@@ -18,9 +18,9 @@ from repro.suite import get_benchmark
 from conftest import model_for, record, run_once
 
 
-def _timed(graph, model, heuristic, use_engine):
+def _timed(graph, model, heuristic, backend):
     t0 = time.perf_counter()
-    result = rotation_schedule(graph, model, heuristic=heuristic, use_engine=use_engine)
+    result = rotation_schedule(graph, model, heuristic=heuristic, backend=backend)
     return time.perf_counter() - t0, result
 
 
@@ -38,11 +38,12 @@ def test_engine_vs_naive(benchmark, bench, config, heuristic):
     model = model_for(config)
 
     def run():
-        naive_s, naive = _timed(graph, model, heuristic, use_engine=False)
-        engine_s, fast = _timed(graph, model, heuristic, use_engine=True)
-        return naive_s, engine_s, naive, fast
+        naive_s, naive = _timed(graph, model, heuristic, backend="naive")
+        views_s, views = _timed(graph, model, heuristic, backend="views")
+        engine_s, fast = _timed(graph, model, heuristic, backend="flat")
+        return naive_s, views_s, engine_s, naive, views, fast
 
-    naive_s, engine_s, naive, fast = run_once(benchmark, run)
+    naive_s, views_s, engine_s, naive, views, fast = run_once(benchmark, run)
     record(
         benchmark,
         bench=bench,
@@ -51,6 +52,7 @@ def test_engine_vs_naive(benchmark, bench, config, heuristic):
         length=fast.length,
         rotations=fast.rotations_performed,
         naive_seconds=round(naive_s, 4),
+        views_seconds=round(views_s, 4),
         engine_seconds=round(engine_s, 4),
         speedup=round(naive_s / engine_s, 2),
         view_derives=fast.engine_stats["view_derives"],
@@ -58,8 +60,9 @@ def test_engine_vs_naive(benchmark, bench, config, heuristic):
         grid_reseeds=fast.engine_stats["grid_reseeds"],
     )
     # Identical results, faster clock — the whole point of the engine.
-    assert fast.length == naive.length
+    assert fast.length == naive.length == views.length
     assert fast.schedule.start_map == naive.schedule.start_map
+    assert views.schedule.start_map == naive.schedule.start_map
     assert fast.retiming == naive.retiming
 
 
@@ -70,8 +73,8 @@ def test_engine_speedup_headline(benchmark):
     model = model_for("3A2M")
 
     def run():
-        naive_s, naive = _timed(graph, model, "h2", use_engine=False)
-        engine_s, fast = _timed(graph, model, "h2", use_engine=True)
+        naive_s, naive = _timed(graph, model, "h2", backend="naive")
+        engine_s, fast = _timed(graph, model, "h2", backend="flat")
         return naive_s, engine_s, naive, fast
 
     naive_s, engine_s, naive, fast = run_once(benchmark, run)

@@ -1,0 +1,101 @@
+"""Instrumentation overhead: what span tracing costs, on and off.
+
+Every instrumentation site ships compiled in (see ``repro.obs.tracer``),
+so the numbers that matter are (a) a *disabled*-tracer run against the
+committed flat envelope — the guards must be invisible — and (b) a
+*traced* run against the disabled run in the same process, which prices
+the clock reads and span allocation when tracing is actually on.
+
+Timings use ``time.process_time`` min-of-N, the same methodology as the
+committed ``BENCH_flat.json`` envelope this compares against.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.core import rotation_schedule
+from repro.obs import tracing
+from repro.suite import get_benchmark
+
+from conftest import model_for, record, run_once
+
+
+def _best_of(fn, n=5):
+    best, out = float("inf"), None
+    for _ in range(n):
+        t0 = time.process_time()
+        result = fn()
+        dt = time.process_time() - t0
+        if dt < best:
+            best, out = dt, result
+    return best, out
+
+
+def _envelope_seconds(bench, config, heuristic):
+    """The committed flat-backend baseline for one golden cell."""
+    with open("BENCH_flat.json", encoding="utf-8") as fh:
+        data = json.load(fh)
+    for entry in data.get("benchmarks", []):
+        info = entry.get("extra_info", {})
+        if (
+            info.get("bench") == bench
+            and info.get("config") == config
+            and info.get("heuristic") == heuristic
+            and "flat_seconds" in info
+        ):
+            return float(info["flat_seconds"])
+    return None
+
+
+@pytest.mark.parametrize(
+    "bench,config,heuristic",
+    [
+        ("elliptic", "3A2M", "h2"),  # the acceptance cell
+        ("biquad", "2A2M", "h1"),
+        ("lattice", "2A2M", "h2"),
+    ],
+)
+def test_tracing_overhead(benchmark, bench, config, heuristic):
+    graph = get_benchmark(bench)
+    model = model_for(config)
+
+    def untraced():
+        return rotation_schedule(graph, model, heuristic=heuristic, backend="flat")
+
+    def traced():
+        with tracing() as tr:
+            result = rotation_schedule(
+                graph, model, heuristic=heuristic, backend="flat"
+            )
+        return result, len(tr.events)
+
+    def run():
+        off_s, off = _best_of(untraced)
+        on_s, (on, events) = _best_of(traced)
+        return off_s, on_s, off, on, events
+
+    off_s, on_s, off, on, events = run_once(benchmark, run)
+    envelope = _envelope_seconds(bench, config, heuristic)
+    record(
+        benchmark,
+        bench=bench,
+        config=config,
+        heuristic=heuristic,
+        untraced_seconds=round(off_s, 4),
+        traced_seconds=round(on_s, 4),
+        traced_overhead=round(on_s / off_s, 3),
+        span_events=events,
+        envelope_seconds=envelope,
+        envelope_ratio=round(off_s / envelope, 3) if envelope else None,
+    )
+    # Tracing must observe, never steer: identical answers either way.
+    assert on.length == off.length
+    assert on.schedule.start_map == off.schedule.start_map
+    assert events > 0
+    # Disabled guards stay inside the same +50% envelope perfcheck enforces.
+    if envelope is not None:
+        assert off_s < envelope * 1.5
+    # Enabled tracing is allowed to cost, but not to dominate.
+    assert on_s < off_s * 1.5

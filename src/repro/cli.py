@@ -20,8 +20,16 @@ Subcommands:
   (``--smoke`` is the bounded pre-merge tier; ``--jobs N`` fans cells out
   across worker processes; failures are delta-debugged to minimal repro
   bundles under ``artifacts/qa/``).
+* ``trace`` — schedule under an active span tracer and export the span
+  tree as JSONL (``repro.obs`` trace schema v1).
+* ``profile`` — per-span self/cumulative profile of a scheduling run (or
+  of a previously exported ``--input trace.jsonl``).
+* ``perfcheck`` — re-run the pinned golden cells of the committed
+  ``BENCH_*.json`` envelopes and fail on wall-time or counter
+  regressions.
 * ``gate`` — the single pre-merge entry point: tier-1 pytest, the golden
-  engine-parity suite, then ``fuzz --smoke --jobs 4``.
+  engine-parity suite, ``fuzz --smoke --jobs 4``, ``perfcheck --smoke``,
+  and a trace smoke (trace one cell, validate the schema).
 """
 
 from __future__ import annotations
@@ -89,14 +97,32 @@ def _sched_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _print_engine_stats(result) -> None:
+    """Shared ``--engine-stats`` reporting for schedule/bench/simulate.
+
+    Never prints a dangling ``engine:`` line: all-zero counters are said
+    out loud, and the flat backend's extras (unified metrics schema) are
+    reported on their own labelled line.
+    """
+    stats = result.engine_stats
+    if stats is None:
+        print("engine stats: (no engine — naive backend)")
+        return
+    nonzero = ", ".join(f"{k}={v}" for k, v in stats.items() if v)
+    print(f"engine stats: {nonzero}" if nonzero else "engine stats: (all zero)")
+    metrics = result.engine_metrics
+    if metrics and metrics.get("extras"):
+        extras = ", ".join(f"{k}={v}" for k, v in sorted(metrics["extras"].items()))
+        print(f"engine extras [{metrics.get('backend', '?')}]: {extras}")
+
+
 def cmd_schedule(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     model, label = parse_config(args.resources)
     result = rotation_schedule(graph, model, **_sched_kwargs(args))
     print(result.summary())
-    if args.engine_stats and result.engine_stats is not None:
-        stats = ", ".join(f"{k}={v}" for k, v in result.engine_stats.items() if v)
-        print(f"engine: {stats}")
+    if args.engine_stats:
+        _print_engine_stats(result)
     print()
     print(render_schedule(result.schedule, model, retiming=result.retiming))
     if args.gantt:
@@ -126,6 +152,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
         model, label = parse_config(cfg)
         lb = combined_lower_bound(graph, model)
         result = rotation_schedule(graph, model, **_sched_kwargs(args))
+        if args.engine_stats:
+            print(f"-- {label}")
+            _print_engine_stats(result)
         row: List[object] = [label, lb.combined, f"{result.length} ({result.depth})"]
         if args.baselines:
             from repro.baselines import dag_list_schedule, modulo_schedule, retime_then_schedule
@@ -149,6 +178,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     model, label = parse_config(args.resources)
     result = rotation_schedule(graph, model, **_sched_kwargs(args))
     print(result.summary())
+    if args.engine_stats:
+        _print_engine_stats(result)
     report = verify_pipeline(
         result.schedule, result.retiming, iterations=args.iterations, period=result.length
     )
@@ -211,6 +242,71 @@ def cmd_svg(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_meta(args: argparse.Namespace, graph: DFG, label: str) -> dict:
+    backend = args.backend or ("naive" if args.no_engine else "flat")
+    return {
+        "graph": graph.name or args.graph,
+        "config": label,
+        "heuristic": args.heuristic,
+        "backend": backend,
+    }
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Trace, tracing, validate_trace, write_trace
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    with tracing(meta=_trace_meta(args, graph, label)) as tr:
+        result = rotation_schedule(graph, model, **_sched_kwargs(args))
+    print(result.summary())
+    events = write_trace(tr, args.out)
+    print(f"trace: {events} span event(s) -> {args.out}")
+    if args.validate:
+        problems = validate_trace(Trace.from_tracer(tr))
+        if problems:
+            for problem in problems[:10]:
+                print(f"  INVALID: {problem}")
+            return 1
+        print("trace: schema valid")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs import profile_of, read_trace, render_profile, tracing
+
+    if args.input:
+        trace = read_trace(args.input)
+        prof = profile_of(trace)
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
+        title = f"profile of {args.input}" + (f" ({meta})" if meta else "")
+    else:
+        if not args.graph:
+            raise SystemExit("profile: give a graph to run, or --input trace.jsonl")
+        graph = _load_graph(args.graph)
+        model, label = parse_config(args.resources)
+        with tracing(meta=_trace_meta(args, graph, label)) as tr:
+            result = rotation_schedule(graph, model, **_sched_kwargs(args))
+        print(result.summary())
+        prof = profile_of(tr)
+        title = f"{graph.name or args.graph} @ {label}"
+    print(render_profile(prof, top=args.top, title=title))
+    return 0
+
+
+def cmd_perfcheck(args: argparse.Namespace) -> int:
+    from repro.obs import run_perfcheck
+
+    report = run_perfcheck(
+        root=args.root,
+        tolerance=args.tolerance,
+        repeats=args.repeats,
+        smoke=args.smoke,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.qa import run_fuzz, smoke_cases
 
@@ -235,7 +331,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
 
 def cmd_gate(args: argparse.Namespace) -> int:
     """The single pre-merge entry point: tier-1 tests, the golden engine
-    parity suite, and the fuzz smoke tier, in that order, failing fast."""
+    parity suite, the fuzz smoke tier, the perfcheck smoke, and a trace
+    smoke, in that order, failing fast."""
     import os
     import subprocess
 
@@ -269,6 +366,28 @@ def cmd_gate(args: argparse.Namespace) -> int:
     if report.failures:
         print("gate: FAIL")
         return 1
+
+    from repro.obs import Trace, run_perfcheck, tracing, validate_trace
+
+    print("gate: perfcheck smoke tier (golden-cell envelopes, +/-50%)")
+    perf = run_perfcheck(smoke=True)
+    print(perf.render())
+    if not perf.ok:
+        print("gate: FAIL")
+        return 1
+
+    print("gate: trace smoke (biquad @ 2A2M, flat backend)")
+    graph = get_benchmark("biquad")
+    model, label = parse_config("2A2M")
+    with tracing(meta={"graph": "biquad", "config": label, "backend": "flat"}) as tr:
+        rotation_schedule(graph, model, heuristic="h2", backend="flat")
+    problems = validate_trace(Trace.from_tracer(tr))
+    if problems:
+        for problem in problems[:10]:
+            print(f"  INVALID: {problem}")
+        print("gate: FAIL")
+        return 1
+    print(f"gate: trace smoke: {len(tr.events)} events, schema valid")
     print("gate: PASS")
     return 0
 
@@ -317,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="scheduling core: flat (integer kernels, default), views "
             "(dict engine), naive (recompute everything); all bit-identical",
         )
+        p.add_argument(
+            "--engine-stats",
+            action="store_true",
+            help="print the engine's cache counters (and backend extras)",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
@@ -326,9 +450,6 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("schedule", help="rotation-schedule a DFG and print the table")
     add_common(p)
     p.add_argument("--gantt", action="store_true", help="also print a unit-lane Gantt chart")
-    p.add_argument(
-        "--engine-stats", action="store_true", help="print the engine's cache counters"
-    )
     p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("inspect", help="print a DFG's characteristics")
@@ -367,6 +488,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_svg)
 
     p = sub.add_parser(
+        "trace",
+        help="schedule under a span tracer and export the span tree as JSONL",
+    )
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.add_argument(
+        "-r", "--resources", "--config", default="2A2M",
+        help="config like 3A2M / 2A1Mp",
+    )
+    add_sched_flags(p)
+    p.add_argument("-o", "--out", default="trace.jsonl", help="output JSONL path")
+    p.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate the exported span tree against the trace schema",
+    )
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="per-span self/cumulative profile of a run (or of --input trace.jsonl)",
+    )
+    p.add_argument(
+        "graph",
+        nargs="?",
+        default=None,
+        help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path (omit with --input)",
+    )
+    p.add_argument(
+        "-r", "--resources", "--config", default="2A2M",
+        help="config like 3A2M / 2A1Mp",
+    )
+    add_sched_flags(p)
+    p.add_argument("--input", default=None, help="profile an exported trace.jsonl instead")
+    p.add_argument("--top", type=int, default=None, help="show only the top N span names")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "perfcheck",
+        help="re-run the pinned golden cells and fail on perf/counter regressions",
+    )
+    p.add_argument(
+        "--root", default=".", help="directory holding the committed BENCH_*.json files"
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.5,
+        help="allowed wall-time slack as a fraction of the baseline (0.5 = +50%%)",
+    )
+    p.add_argument("--repeats", type=int, default=3, help="min-of-N timing runs per cell")
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="pre-merge tier: flat cells only, 2 repeats, tolerance floored at 50%%",
+    )
+    p.set_defaults(func=cmd_perfcheck)
+
+    p = sub.add_parser(
         "fuzz",
         help="differential fuzzing: certify scheduler paths against the oracle stack",
     )
@@ -395,7 +574,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "gate",
-        help="pre-merge gate: tier-1 tests + golden parity suite + fuzz smoke",
+        help="pre-merge gate: tier-1 tests + golden parity suite + fuzz smoke "
+        "+ perfcheck smoke + trace smoke",
     )
     p.add_argument(
         "--jobs", type=int, default=4, help="worker processes for the fuzz tier"

@@ -47,6 +47,8 @@ from repro.schedule.list_scheduler import (
 )
 from repro.schedule.priorities import get_priority
 from repro.errors import RotationError, SchedulingError
+from repro.obs import tracer as _obs
+from repro.obs.metrics import engine_metrics
 
 #: Priority names the view cache maintains incrementally.  ``mobility`` is
 #: structure-determined (it only reads zero-delay topology), so unchanged
@@ -205,6 +207,16 @@ class ViewCache:
         return (heights[node], reach[node].bit_count())  # combined
 
     def _build(self, r: Retiming) -> GraphView:
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("views.build")
+            try:
+                return self._build_inner(r)
+            finally:
+                tr.end()
+        return self._build_inner(r)
+
+    def _build_inner(self, r: Retiming) -> GraphView:
         graph = self.graph
         self.stats.view_builds += 1
         self.stats.edges_rescanned += graph.num_edges
@@ -233,6 +245,18 @@ class ViewCache:
     def _derive(self, base: GraphView, moved: Dict[NodeId, int], new_r: Retiming) -> GraphView:
         """Derive ``G_{new_r}`` from ``G_{base.r}`` in O(edges incident to X)
         plus a dirty-set priority recompute."""
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("views.derive", moved=len(moved))
+            try:
+                return self._derive_inner(base, moved, new_r)
+            finally:
+                tr.end()
+        return self._derive_inner(base, moved, new_r)
+
+    def _derive_inner(
+        self, base: GraphView, moved: Dict[NodeId, int], new_r: Retiming
+    ) -> GraphView:
         graph = self.graph
         dr = dict(base.dr)
         changed_src: Set[NodeId] = set()
@@ -421,6 +445,11 @@ class RotationEngine:
     def stats(self) -> Dict[str, int]:
         """Snapshot of the instrumentation counters as a plain dict."""
         return asdict(self._stats)
+
+    def metrics(self) -> Dict[str, object]:
+        """The :data:`repro.obs.metrics.METRICS_SCHEMA` snapshot: shared
+        engine counters only — the views backend has no extras."""
+        return engine_metrics(self.stats(), self.backend_name, "repro.core.engine")
 
     def compatible_with(self, state) -> bool:
         """Whether a state can be driven by this engine's caches."""

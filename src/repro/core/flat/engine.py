@@ -46,6 +46,8 @@ from repro.core.flat.kernels import (
     zero_delay_lists,
 )
 from repro.errors import RotationError, ZeroDelayCycleError
+from repro.obs import tracer as _obs
+from repro.obs.metrics import engine_metrics
 
 
 class FlatView:
@@ -108,11 +110,28 @@ class FlatEngine:
         # bookkeeping is pure overhead before the inevitable rebuild.
         self._walk_misses = 0
         self._derive_seq = 0
+        # Flat-backend-specific counters, reported as ``extras`` in the
+        # unified metrics schema (repro.obs.metrics) — they have no
+        # counterpart in the shared EngineStats semantics.
+        self._extras: Dict[str, int] = {
+            "chain_tip_reuses": 0,
+            "wrap_interval_collapses": 0,
+            "dirty_walk_aborts": 0,
+        }
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         """Snapshot of the instrumentation counters as a plain dict."""
         return asdict(self._stats)
+
+    def metrics(self) -> Dict[str, object]:
+        """The :data:`repro.obs.metrics.METRICS_SCHEMA` snapshot: the shared
+        engine counters plus the flat backend's extras (chain-tip reuse,
+        wrap-interval collapses, dirty-walk aborts)."""
+        return engine_metrics(
+            self.stats(), self.backend_name, "repro.core.flat.engine",
+            extras=dict(self._extras),
+        )
 
     def compatible_with(self, state) -> bool:
         """Whether a state can be driven by this engine's caches."""
@@ -152,25 +171,59 @@ class FlatEngine:
 
     def _build(self, r: Retiming) -> FlatView:
         fg = self.fg
-        self._stats.view_builds += 1
-        self._stats.edges_rescanned += fg.m
-        rv = fg.rvec(r)
-        dr = retimed_delays(fg, rv)
-        zsucc, zpred = zero_delay_lists(fg, dr)
-        order = flat_topological_order(zsucc)
-        if order is None:
-            raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, r))
-        if self.priority == "mobility":
-            self._stats.priority_full_rebuilds += 1
-        reach, heights, skey = flat_priority_columns(
-            self.priority, self.fm.node_time, zsucc, order
-        )
-        return FlatView(r, rv, dr, zsucc, zpred, order, skey, reach, heights)
+        tr = _obs.active
+        traced = tr.enabled
+        if traced:
+            tr.begin("flat.build")
+        try:
+            self._stats.view_builds += 1
+            self._stats.edges_rescanned += fg.m
+            rv = fg.rvec(r)
+            if traced:
+                tr.begin("kernel.retimed_delays")
+            dr = retimed_delays(fg, rv)
+            if traced:
+                tr.end()
+                tr.begin("kernel.zero_delay_lists")
+            zsucc, zpred = zero_delay_lists(fg, dr)
+            if traced:
+                tr.end()
+                tr.begin("kernel.topo_order")
+            order = flat_topological_order(zsucc)
+            if traced:
+                tr.end()
+            if order is None:
+                raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, r))
+            if self.priority == "mobility":
+                self._stats.priority_full_rebuilds += 1
+            if traced:
+                tr.begin("kernel.priority_columns")
+            reach, heights, skey = flat_priority_columns(
+                self.priority, self.fm.node_time, zsucc, order
+            )
+            if traced:
+                tr.end()
+            return FlatView(r, rv, dr, zsucc, zpred, order, skey, reach, heights)
+        finally:
+            if traced:
+                tr.end()
 
     def _derive(self, base: FlatView, moved_idx: Sequence[int], new_r: Retiming, step: int) -> FlatView:
         """The view of ``new_r = base.r (+) step * moved`` in O(edges
         incident to moved) plus a dirty-set priority repair (mirrors
         ViewCache._derive)."""
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("flat.derive", moved=len(moved_idx))
+            try:
+                return self._derive_inner(base, moved_idx, new_r, step)
+            finally:
+                tr.end()
+        return self._derive_inner(base, moved_idx, new_r, step)
+
+    def _derive_inner(
+        self, base: FlatView, moved_idx: Sequence[int], new_r: Retiming, step: int
+    ) -> FlatView:
         fg = self.fg
         # The retiming changes only at moved nodes — and a rotation bumps
         # each by exactly ``step`` — so the dense vector updates without
@@ -266,6 +319,7 @@ class FlatEngine:
         if skip_walk or stack:
             if stack:
                 self._walk_misses += 1
+            self._extras["dirty_walk_aborts"] += 1
             order = flat_topological_order(zsucc)
             if order is None:  # pragma: no cover - rotations preserve legality
                 raise ZeroDelayCycleError(_find_zero_delay_cycle(fg.graph, new_r))
@@ -393,10 +447,21 @@ class FlatEngine:
         start: List[Optional[int]] = [None] * fg.n
         units: List[Optional[int]] = [None] * fg.n
         grid = FlatGrid(fm)
-        flat_list_schedule(
-            fg, fm, view.zsucc, view.zpred, view.skey,
-            start, units, range(fg.n), 0, grid,
-        )
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("kernel.list_schedule", todo=fg.n)
+            try:
+                flat_list_schedule(
+                    fg, fm, view.zsucc, view.zpred, view.skey,
+                    start, units, range(fg.n), 0, grid,
+                )
+            finally:
+                tr.end()
+        else:
+            flat_list_schedule(
+                fg, fm, view.zsucc, view.zpred, view.skey,
+                start, units, range(fg.n), 0, grid,
+            )
         token, sched = self._finish(start, units, grid)
         self._tip_view = view
         self._stats.initial_schedules += 1
@@ -466,14 +531,26 @@ class FlatEngine:
             self._stats.grid_released_slots += len(moved_idx)
             grid.shift(-size)
             self._stats.grid_delta_rotations += 1
+            self._extras["chain_tip_reuses"] += 1
         else:
             grid = seed_grid(fg, fm, start, units)
             self._stats.grid_reseeds += 1
 
-        flat_list_schedule(
-            fg, fm, new_view.zsucc, new_view.zpred, new_view.skey,
-            start, units, moved_idx, 0, grid,
-        )
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("kernel.list_schedule", todo=len(moved_idx))
+            try:
+                flat_list_schedule(
+                    fg, fm, new_view.zsucc, new_view.zpred, new_view.skey,
+                    start, units, moved_idx, 0, grid,
+                )
+            finally:
+                tr.end()
+        else:
+            flat_list_schedule(
+                fg, fm, new_view.zsucc, new_view.zpred, new_view.skey,
+                start, units, moved_idx, 0, grid,
+            )
         token, new_sched = self._finish(start, units, grid)
         self._tip_view = new_view
         step = RotationStep("down", size, tuple(moved_nodes), sched.length, new_sched.length)
@@ -530,14 +607,26 @@ class FlatEngine:
             grid.release_many(moved_idx, cur_start, cur_units)
             self._stats.grid_released_slots += len(moved_idx)
             self._stats.grid_delta_rotations += 1
+            self._extras["chain_tip_reuses"] += 1
         else:
             grid = seed_grid(fg, fm, start, units)
             self._stats.grid_reseeds += 1
 
-        flat_latest_fit(
-            fg, fm, new_view.zsucc, new_view.zpred,
-            start, units, moved_idx, last, grid,
-        )
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("kernel.latest_fit", todo=len(moved_idx))
+            try:
+                flat_latest_fit(
+                    fg, fm, new_view.zsucc, new_view.zpred,
+                    start, units, moved_idx, last, grid,
+                )
+            finally:
+                tr.end()
+        else:
+            flat_latest_fit(
+                fg, fm, new_view.zsucc, new_view.zpred,
+                start, units, moved_idx, last, grid,
+            )
         token, new_sched = self._finish(start, units, grid)
         self._tip_view = new_view
         step = RotationStep("up", size, tuple(moved_nodes), sched.length, new_sched.length)
@@ -572,8 +661,17 @@ class FlatEngine:
         ):
             starts = self._start_list
             view = self._tip_view
+            self._extras["chain_tip_reuses"] += 1
         else:
             starts = [sched.start(v) for v in fg.nodes]
             view = self._get_view(state.retiming)
-        period = flat_wrap_period(fg, self.fm, starts, view.dr)
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("kernel.wrap_period")
+            try:
+                period = flat_wrap_period(fg, self.fm, starts, view.dr, self._extras)
+            finally:
+                tr.end()
+        else:
+            period = flat_wrap_period(fg, self.fm, starts, view.dr, self._extras)
         return WrappedSchedule(sched, state.retiming, period)

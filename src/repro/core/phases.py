@@ -31,6 +31,7 @@ from repro.schedule.schedule import Schedule
 from repro.core.engine import make_engine, strip_funcs
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule, wrap
+from repro.obs import tracer as _obs
 
 
 @dataclass
@@ -113,16 +114,17 @@ def rotation_phase(
 ) -> RotationState:
     """The paper's ``RotationPhase``: ``beta`` rotations of (nominal) size
     ``size``, halving the size while it reaches the schedule length."""
-    current = size
-    for _ in range(beta):
-        length = state.length
-        while current >= length and current > 1:
-            current = (current + 1) // 2  # ceil(i/2)
-        if current >= length:
-            break  # schedule of length 1 cannot be rotated further
-        state = state.down_rotate(current)
-        best.offer(state)
-    return state
+    with _obs.active.span("phase", size=size, beta=beta):
+        current = size
+        for _ in range(beta):
+            length = state.length
+            while current >= length and current > 1:
+                current = (current + 1) // 2  # ceil(i/2)
+            if current >= length:
+                break  # schedule of length 1 cannot be rotated further
+            state = state.down_rotate(current)
+            best.offer(state)
+        return state
 
 
 def _h1_phase_worker(payload) -> BestTracker:

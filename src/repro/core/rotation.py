@@ -45,6 +45,7 @@ from repro.schedule.list_scheduler import OccupancyGrid, full_schedule, partial_
 from repro.core.engine import RotationEngine, make_engine
 from repro.core.wrapping import WrappedSchedule, wrap
 from repro.errors import RotationError
+from repro.obs import tracer as _obs
 
 
 @dataclass(frozen=True)
@@ -107,18 +108,26 @@ class RotationState:
         r = retiming if retiming is not None else Retiming.zero()
         if engine is None:
             engine = make_engine(None, graph, model, priority)
-        if engine is not False:
-            if not (
-                engine.graph is graph
-                and engine.model is model
-                and engine.priority == priority
-            ):
-                raise RotationError(
-                    "engine was built for a different (graph, model, priority)"
-                )
-            return engine.initial_state(r)
-        sched = full_schedule(graph, model, r, priority).normalized()
-        return cls(graph, model, r, sched, priority)
+        tr = _obs.active
+        traced = tr.enabled
+        if traced:
+            tr.begin("schedule.initial")
+        try:
+            if engine is not False:
+                if not (
+                    engine.graph is graph
+                    and engine.model is model
+                    and engine.priority == priority
+                ):
+                    raise RotationError(
+                        "engine was built for a different (graph, model, priority)"
+                    )
+                return engine.initial_state(r)
+            sched = full_schedule(graph, model, r, priority).normalized()
+            return cls(graph, model, r, sched, priority)
+        finally:
+            if traced:
+                tr.end()
 
     # ------------------------------------------------------------------
     def __getstate__(self):
@@ -196,6 +205,16 @@ class RotationState:
             raise RotationError(
                 f"rotation of size {size} is illegal on a schedule of length {self.length}"
             )
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("rotate.down", size=size)
+            try:
+                return self._down_rotate(size)
+            finally:
+                tr.end()
+        return self._down_rotate(size)
+
+    def _down_rotate(self, size: int) -> "RotationState":
         if self.engine is not None and self.engine.compatible_with(self):
             return self.engine.down_rotate(self, size)
         sched = self.schedule.normalized()
@@ -254,6 +273,16 @@ class RotationState:
             raise RotationError(
                 f"rotation of size {size} is illegal on a schedule of length {self.length}"
             )
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("rotate.up", size=size)
+            try:
+                return self._up_rotate(size)
+            finally:
+                tr.end()
+        return self._up_rotate(size)
+
+    def _up_rotate(self, size: int) -> "RotationState":
         eng = self.engine
         if eng is not None and eng.compatible_with(self):
             up = getattr(eng, "up_rotate", None)
@@ -290,6 +319,24 @@ def _latest_fit_reschedule(
     """Place ``moved`` nodes as late as possible before their zero-delay
     successors (reverse topological, greedy downward probe for a free unit).
     """
+    tr = _obs.active
+    traced = tr.enabled
+    if traced:
+        tr.begin("latest_fit", moved=len(moved))
+    try:
+        return _latest_fit_inner(graph, model, base, moved, r)
+    finally:
+        if traced:
+            tr.end()
+
+
+def _latest_fit_inner(
+    graph: DFG,
+    model: ResourceModel,
+    base: Schedule,
+    moved: Sequence[NodeId],
+    r: Retiming,
+) -> Schedule:
     moved_set = set(moved)
     grid = OccupancyGrid.from_schedule(base, exclude=moved_set)
     start = {v: base.start(v) for v in graph.nodes if v not in moved_set}

@@ -30,6 +30,7 @@ from repro.core.phases import HEURISTICS, BestTracker
 from repro.core.rotation import RotationState
 from repro.core.wrapping import WrappedSchedule
 from repro.errors import SchedulingError
+from repro.obs import tracer as _obs
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,7 @@ class RotationResult:
     elapsed_seconds: float
     alternates: Tuple[WrappedSchedule, ...] = ()
     engine_stats: Optional[dict] = None
+    engine_metrics: Optional[dict] = None
 
     @property
     def improvement(self) -> int:
@@ -127,28 +129,52 @@ class RotationScheduler:
 
     def schedule(self, graph: DFG) -> RotationResult:
         """Run the configured heuristic and post-process the best schedule."""
-        t0 = time.perf_counter()
-        engine = make_engine(self.backend, graph, self.model, self.priority)
-        initial = RotationState.initial(graph, self.model, self.priority, engine=engine)
-        best: BestTracker = HEURISTICS[self.heuristic](
-            graph,
-            self.model,
-            beta=self.beta,
-            sigma=self.sigma,
-            priority=self.priority,
-            cap=self.cap,
-            engine=engine,
-            workers=self.workers,
-        )
-        elapsed = time.perf_counter() - t0
+        tr = _obs.active
+        traced = tr.enabled
+        if traced:
+            tr.begin(
+                "solve",
+                graph=graph.name or "dfg",
+                model=self.model.label(),
+                heuristic=self.heuristic,
+                backend=self.backend,
+            )
+        try:
+            t0 = time.perf_counter()
+            engine = make_engine(self.backend, graph, self.model, self.priority)
+            initial = RotationState.initial(
+                graph, self.model, self.priority, engine=engine
+            )
+            best: BestTracker = HEURISTICS[self.heuristic](
+                graph,
+                self.model,
+                beta=self.beta,
+                sigma=self.sigma,
+                priority=self.priority,
+                cap=self.cap,
+                engine=engine,
+                workers=self.workers,
+            )
+            elapsed = time.perf_counter() - t0
 
-        # Depth reduction (Section 3.2) on every optimal schedule found;
-        # report the shallowest pipeline (ties: first found).
-        reduced = [
-            WrappedSchedule(w.schedule, realizing_retiming(w.schedule, w.period), w.period)
-            for _, w in best.entries
-        ]
-        final = min(reduced, key=lambda w: w.depth)
+            # Depth reduction (Section 3.2) on every optimal schedule found;
+            # report the shallowest pipeline (ties: first found).
+            if traced:
+                tr.begin("depth_reduction", candidates=len(best.entries))
+            try:
+                reduced = [
+                    WrappedSchedule(
+                        w.schedule, realizing_retiming(w.schedule, w.period), w.period
+                    )
+                    for _, w in best.entries
+                ]
+                final = min(reduced, key=lambda w: w.depth)
+            finally:
+                if traced:
+                    tr.end()
+        finally:
+            if traced:
+                tr.end()
         alternates = tuple(w for w in reduced if w is not final)
         return RotationResult(
             graph=graph,
@@ -165,6 +191,7 @@ class RotationScheduler:
             elapsed_seconds=elapsed,
             alternates=alternates,
             engine_stats=engine.stats() if engine is not False else None,
+            engine_metrics=engine.metrics() if engine is not False else None,
         )
 
 

@@ -31,6 +31,7 @@ from repro.schedule.verify import (
     realizing_retiming,
 )
 from repro.errors import SchedulingError
+from repro.obs import tracer as _obs
 
 
 @dataclass(frozen=True)
@@ -129,6 +130,17 @@ def wrap(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:
     span; the first legal one wins.  The span itself is always legal, so
     this never fails on a legal DAG schedule of ``G_R``.
     """
+    tr = _obs.active
+    if tr.enabled:
+        tr.begin("wrap_period")
+        try:
+            return _wrap_inner(schedule, retiming)
+        finally:
+            tr.end()
+    return _wrap_inner(schedule, retiming)
+
+
+def _wrap_inner(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:
     sched = schedule.normalized()
     graph, model = sched.graph, sched.model
     span = sched.length

@@ -1,0 +1,63 @@
+"""repro.obs — observability for the rotation-scheduling pipeline.
+
+Four pieces, all stdlib-only:
+
+* :mod:`repro.obs.tracer` — nested span tracing with a no-op default
+  (:data:`~repro.obs.tracer.NULL`) so permanent instrumentation sites
+  cost nearly nothing when tracing is off.
+* :mod:`repro.obs.metrics` — the unified counters/gauges/timers/extras
+  schema every producer (views engine, flat engine, fuzz runner) reports
+  through.
+* :mod:`repro.obs.export` / :mod:`repro.obs.profile` — JSONL trace
+  round-tripping, structural validation, and the self-vs-cumulative
+  per-span profile report.
+* :mod:`repro.obs.perfcheck` — the perf-regression gate over the
+  committed ``BENCH_*.json`` golden-cell envelopes.
+"""
+
+from repro.obs.export import Trace, TraceError, parse_trace, read_trace, validate_trace, write_trace
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, engine_metrics, render_metrics
+from repro.obs.perfcheck import GoldenCell, PerfReport, load_golden_cells, run_perfcheck
+from repro.obs.profile import Profile, ProfileRow, aggregate, profile_of, render_profile
+from repro.obs.tracer import (
+    NULL,
+    TRACE_SCHEMA,
+    NullTracer,
+    SpanEvent,
+    Tracer,
+    activate,
+    current,
+    deactivate,
+    tracing,
+)
+
+__all__ = [
+    "NULL",
+    "METRICS_SCHEMA",
+    "TRACE_SCHEMA",
+    "GoldenCell",
+    "MetricsRegistry",
+    "NullTracer",
+    "PerfReport",
+    "Profile",
+    "ProfileRow",
+    "SpanEvent",
+    "Trace",
+    "TraceError",
+    "Tracer",
+    "activate",
+    "aggregate",
+    "current",
+    "deactivate",
+    "engine_metrics",
+    "load_golden_cells",
+    "parse_trace",
+    "profile_of",
+    "read_trace",
+    "render_metrics",
+    "render_profile",
+    "run_perfcheck",
+    "tracing",
+    "validate_trace",
+    "write_trace",
+]

@@ -1,0 +1,239 @@
+"""The perf-regression gate: re-run pinned golden cells, compare envelopes.
+
+``BENCH_flat.json`` and ``BENCH_engine.json`` pin the repo's performance
+trajectory: each end-to-end entry records a (benchmark, config, heuristic,
+backend) cell with its wall time and its deterministic outcome counters
+(schedule length, rotations performed, and for some cells the engine's
+grid counters).  :func:`run_perfcheck` re-runs those cells on the current
+tree and fails when
+
+* a *counter delta* appears — the deterministic outcome (length,
+  rotations, pinned engine counters) no longer matches the envelope; or
+* the *wall time* regresses past the tolerance band
+  (``measured > baseline * (1 + tolerance)``).
+
+Timing uses ``time.process_time`` with a min-of-N inner loop, the same
+methodology the committed baselines were recorded with, so the comparison
+is CPU time against CPU time.  ``rotsched gate`` runs the ``--smoke``
+variant (flat cells only, generous ±50% tolerance) before every merge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+#: Engine counters a baseline entry may pin exactly (deterministic).
+_PINNED_COUNTERS = ("view_derives", "grid_delta_rotations", "grid_reseeds")
+
+#: Baseline files perfcheck knows how to read, with the backend their
+#: end-to-end cells exercise and the extra_info key holding the timing.
+BASELINE_SPECS: Tuple[Tuple[str, str, str], ...] = (
+    ("BENCH_flat.json", "flat", "flat_seconds"),
+    ("BENCH_engine.json", "views", "views_seconds"),
+)
+
+
+@dataclass(frozen=True)
+class GoldenCell:
+    """One pinned cell of a committed benchmark envelope."""
+
+    source: str
+    bench: str
+    config: str
+    heuristic: str
+    backend: str
+    baseline_seconds: float
+    length: int
+    rotations: int
+    pinned: Tuple[Tuple[str, int], ...] = ()
+
+    def label(self) -> str:
+        return f"{self.bench}@{self.config}/{self.heuristic}/{self.backend}"
+
+
+@dataclass
+class CellResult:
+    """Outcome of re-running one golden cell."""
+
+    cell: GoldenCell
+    measured_seconds: float = 0.0
+    length: Optional[int] = None
+    rotations: Optional[int] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def ratio(self) -> float:
+        base = self.cell.baseline_seconds
+        return self.measured_seconds / base if base else float("inf")
+
+
+@dataclass
+class PerfReport:
+    """Aggregate perfcheck outcome."""
+
+    results: List[CellResult] = field(default_factory=list)
+    tolerance: float = 0.5
+    repeats: int = 3
+    elapsed: float = 0.0
+    skipped_baselines: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results) and bool(self.results)
+
+    def summary(self) -> str:
+        bad = sum(1 for r in self.results if not r.ok)
+        head = (
+            f"perfcheck: {len(self.results) - bad}/{len(self.results)} golden "
+            f"cells within envelope (tolerance +{self.tolerance:.0%}, "
+            f"min-of-{self.repeats}) in {self.elapsed:.1f}s"
+        )
+        if self.skipped_baselines:
+            head += f"; missing baselines skipped: {', '.join(self.skipped_baselines)}"
+        if bad:
+            head += f"; {bad} REGRESSED cell(s)"
+        if not self.results:
+            head += "; NO CELLS RUN"
+        return head
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        for r in self.results:
+            status = "ok" if r.ok else "FAIL"
+            lines.append(
+                f"  {status:<4} {r.cell.label():<28} "
+                f"baseline {r.cell.baseline_seconds:.4f}s  "
+                f"measured {r.measured_seconds:.4f}s  (x{r.ratio:.2f})"
+            )
+            for p in r.problems:
+                lines.append(f"       - {p}")
+        return "\n".join(lines)
+
+
+def load_golden_cells(
+    path: str, backend: str, seconds_key: str
+) -> List[GoldenCell]:
+    """Extract pinned cells from one committed pytest-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    cells: List[GoldenCell] = []
+    source = os.path.basename(path)
+    for entry in data.get("benchmarks", ()):
+        info = entry.get("extra_info") or {}
+        if not {"bench", "config", "heuristic", seconds_key} <= info.keys():
+            continue
+        pinned = tuple(
+            (k, int(info[k])) for k in _PINNED_COUNTERS if k in info
+        )
+        cells.append(
+            GoldenCell(
+                source=source,
+                bench=info["bench"],
+                config=info["config"],
+                heuristic=info["heuristic"],
+                backend=backend,
+                baseline_seconds=float(info[seconds_key]),
+                length=int(info["length"]),
+                rotations=int(info["rotations"]),
+                pinned=pinned,
+            )
+        )
+    if not cells:
+        raise ReproError(f"no golden cells with '{seconds_key}' found in {path}")
+    return cells
+
+
+def _measure_cell(cell: GoldenCell, repeats: int) -> CellResult:
+    from repro.core.scheduler import rotation_schedule
+    from repro.qa.runner import config_model
+    from repro.suite.registry import get_benchmark
+
+    graph = get_benchmark(cell.bench)
+    model = config_model(cell.config)
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.process_time()
+        out = rotation_schedule(
+            graph, model, heuristic=cell.heuristic, backend=cell.backend
+        )
+        dt = time.process_time() - t0
+        if dt < best:
+            best = dt
+            result = out
+    cr = CellResult(
+        cell,
+        measured_seconds=best,
+        length=result.length,
+        rotations=result.rotations_performed,
+    )
+    if result.length != cell.length:
+        cr.problems.append(
+            f"counter delta: length {result.length} != pinned {cell.length}"
+        )
+    if result.rotations_performed != cell.rotations:
+        cr.problems.append(
+            f"counter delta: rotations {result.rotations_performed} "
+            f"!= pinned {cell.rotations}"
+        )
+    stats = result.engine_stats or {}
+    for name, pinned_value in cell.pinned:
+        if stats.get(name) != pinned_value:
+            cr.problems.append(
+                f"counter delta: {name} {stats.get(name)} != pinned {pinned_value}"
+            )
+    return cr
+
+
+def run_perfcheck(
+    root: str = ".",
+    baselines: Sequence[Tuple[str, str, str]] = BASELINE_SPECS,
+    tolerance: float = 0.5,
+    repeats: int = 3,
+    smoke: bool = False,
+) -> PerfReport:
+    """Re-run every pinned golden cell and compare against its envelope.
+
+    Args:
+        root: directory holding the committed ``BENCH_*.json`` files.
+        baselines: ``(filename, backend, seconds_key)`` triples to read.
+        tolerance: allowed wall-time slack as a fraction of the baseline
+            (0.5 == fail past +50%).
+        repeats: min-of-N timing runs per cell.
+        smoke: the pre-merge tier — flat cells only, ``min(repeats, 2)``
+            timing runs, and tolerance floored at ±50% so CI noise does
+            not flake the gate.
+    """
+    t0 = time.perf_counter()
+    if smoke:
+        baselines = [spec for spec in baselines if spec[1] == "flat"]
+        repeats = min(repeats, 2)
+        tolerance = max(tolerance, 0.5)
+    report = PerfReport(tolerance=tolerance, repeats=repeats)
+    for filename, backend, seconds_key in baselines:
+        path = os.path.join(root, filename)
+        if not os.path.exists(path):
+            report.skipped_baselines.append(filename)
+            continue
+        for cell in load_golden_cells(path, backend, seconds_key):
+            cr = _measure_cell(cell, repeats)
+            limit = cell.baseline_seconds * (1.0 + tolerance)
+            if cr.measured_seconds > limit:
+                cr.problems.append(
+                    f"wall-time regression: {cr.measured_seconds:.4f}s > "
+                    f"{cell.baseline_seconds:.4f}s * {1.0 + tolerance:.2f} "
+                    f"= {limit:.4f}s"
+                )
+            report.results.append(cr)
+    report.elapsed = time.perf_counter() - t0
+    return report

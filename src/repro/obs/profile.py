@@ -1,0 +1,103 @@
+"""Per-span profile aggregation and the ``rotsched profile`` report.
+
+Folds a span tree (live :class:`~repro.obs.tracer.Tracer` or parsed
+:class:`~repro.obs.export.Trace`) into per-name rows: call counts,
+cumulative time (span durations summed) and *self* time (duration minus
+the time spent in child spans) — the per-phase / per-kernel breakdown the
+rotation loop's feedback consumers read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.export import Trace
+from repro.obs.tracer import SpanEvent, Tracer
+
+
+@dataclass
+class ProfileRow:
+    """Aggregated timings of every span sharing one name."""
+
+    name: str
+    calls: int = 0
+    cum_ns: int = 0
+    self_ns: int = 0
+    max_ns: int = 0
+
+    @property
+    def cum_s(self) -> float:
+        return self.cum_ns / 1e9
+
+    @property
+    def self_s(self) -> float:
+        return self.self_ns / 1e9
+
+
+@dataclass
+class Profile:
+    """The full aggregation plus the wall time it covers."""
+
+    rows: Dict[str, ProfileRow] = field(default_factory=dict)
+    total_ns: int = 0
+
+    def sorted_rows(self) -> List[ProfileRow]:
+        """Rows by descending self time (ties: name, for determinism)."""
+        return sorted(self.rows.values(), key=lambda r: (-r.self_ns, r.name))
+
+
+def aggregate(events: Sequence[SpanEvent]) -> Profile:
+    """Fold events into per-name rows; self = dur - sum(child durs)."""
+    child_ns = [0] * len(events)
+    for ev in events:
+        if ev.parent >= 0 and ev.dur_ns > 0:
+            child_ns[ev.parent] += ev.dur_ns
+    prof = Profile()
+    rows = prof.rows
+    for ev in events:
+        dur = max(ev.dur_ns, 0)
+        row = rows.get(ev.name)
+        if row is None:
+            row = rows[ev.name] = ProfileRow(ev.name)
+        row.calls += 1
+        row.cum_ns += dur
+        row.self_ns += max(dur - child_ns[ev.index], 0)
+        if dur > row.max_ns:
+            row.max_ns = dur
+        if ev.parent < 0:
+            prof.total_ns += dur
+    return prof
+
+
+def profile_of(source: Union[Tracer, Trace]) -> Profile:
+    """Aggregate a live tracer or a parsed trace file."""
+    return aggregate(source.events)
+
+
+def render_profile(
+    profile: Profile, top: Optional[int] = None, title: str = "profile"
+) -> str:
+    """Fixed-width per-span table: self vs cumulative, call counts, top-N."""
+    rows = profile.sorted_rows()
+    shown = rows if top is None else rows[:top]
+    total = profile.total_ns or 1
+    name_w = max([len(r.name) for r in shown] + [len("span")])
+    header = (
+        f"{'span':<{name_w}}  {'calls':>7}  {'self s':>9}  {'self %':>6}  "
+        f"{'cum s':>9}  {'cum %':>6}  {'max ms':>8}"
+    )
+    lines = [f"{title} — total {profile.total_ns / 1e9:.4f}s", header, "-" * len(header)]
+    for r in shown:
+        lines.append(
+            f"{r.name:<{name_w}}  {r.calls:>7}  {r.self_s:>9.4f}  "
+            f"{100.0 * r.self_ns / total:>6.1f}  {r.cum_s:>9.4f}  "
+            f"{100.0 * r.cum_ns / total:>6.1f}  {r.max_ns / 1e6:>8.3f}"
+        )
+    if top is not None and len(rows) > top:
+        rest_self = sum(r.self_ns for r in rows[top:])
+        lines.append(
+            f"... {len(rows) - top} more span name(s), "
+            f"{rest_self / 1e9:.4f}s self time"
+        )
+    return "\n".join(lines)

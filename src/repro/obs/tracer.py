@@ -1,0 +1,242 @@
+"""Span tracing for the rotation-scheduling pipeline.
+
+A :class:`Tracer` records *spans*: named, nested, monotonic-clock-timed
+intervals around the pipeline's phases (rotation loop, retiming, priority
+repair, placement, wrap search) and the flat backend's integer kernels.
+Spans form a tree — ``begin``/``end`` push and pop a stack — and every
+finished span becomes one :class:`SpanEvent` with a parent index, depth,
+start offset and duration in nanoseconds, plus free-form attributes.
+
+Instrumentation sites are compiled in permanently but cost almost nothing
+when tracing is off: the module-level :data:`active` tracer is the
+:data:`NULL` no-op singleton by default, and every hot site guards on
+``tracer.enabled`` (one attribute load and a branch) before touching the
+clock.  Coarse sites use the ``with tracer.span(...)`` form; the hottest
+per-rotation sites use the explicit ``begin``/``try``/``finally``/``end``
+form so the disabled path never allocates.
+
+Timings are observational only: tracing must never change scheduling
+decisions, and the golden parity suite pins traced runs bit-identical to
+untraced ones.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+#: Version tag written into trace headers; bump on incompatible changes.
+TRACE_SCHEMA = "repro.obs/trace/v1"
+
+
+class SpanEvent:
+    """One finished (or still-open) span.
+
+    ``t0_ns`` is the start offset relative to the tracer's first span, so
+    exported traces are replayable without wall-clock anchoring; ``dur_ns``
+    is -1 while the span is open.
+    """
+
+    __slots__ = ("index", "parent", "depth", "name", "t0_ns", "dur_ns", "attrs")
+
+    def __init__(
+        self,
+        index: int,
+        parent: int,
+        depth: int,
+        name: str,
+        t0_ns: int,
+        attrs: Dict[str, Any],
+        dur_ns: int = -1,
+    ):
+        self.index = index
+        self.parent = parent
+        self.depth = depth
+        self.name = name
+        self.t0_ns = t0_ns
+        self.dur_ns = dur_ns
+        self.attrs = attrs
+
+    def shape(self) -> Tuple:
+        """Timing-free identity: what determinism tests compare across runs."""
+        return (
+            self.index,
+            self.parent,
+            self.depth,
+            self.name,
+            tuple(sorted(self.attrs.items())),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "i": self.index,
+            "parent": self.parent,
+            "depth": self.depth,
+            "name": self.name,
+            "t0_ns": self.t0_ns,
+            "dur_ns": self.dur_ns,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanEvent({self.name!r}, depth={self.depth}, dur_ns={self.dur_ns})"
+
+
+class _SpanCloser:
+    """Shared context manager returned by :meth:`Tracer.span` — the span is
+    already begun, so entering is a no-op and exiting pops it."""
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SpanCloser":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer.end()
+        return False
+
+
+class Tracer:
+    """Collects a span tree over one (or more) scheduling runs."""
+
+    enabled = True
+
+    def __init__(self, meta: Optional[Dict[str, Any]] = None, clock=time.perf_counter_ns):
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.events: List[SpanEvent] = []
+        self._stack: List[SpanEvent] = []
+        self._clock = clock
+        self._t0: Optional[int] = None
+        self._closer = _SpanCloser(self)
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, **attrs: Any) -> None:
+        """Open a span; it becomes the parent of spans begun before end()."""
+        now = self._clock()
+        if self._t0 is None:
+            self._t0 = now
+        stack = self._stack
+        ev = SpanEvent(
+            len(self.events),
+            stack[-1].index if stack else -1,
+            len(stack),
+            name,
+            now - self._t0,
+            attrs,
+        )
+        self.events.append(ev)
+        stack.append(ev)
+
+    def end(self) -> None:
+        """Close the innermost open span."""
+        ev = self._stack.pop()
+        ev.dur_ns = (self._clock() - self._t0) - ev.t0_ns
+
+    def span(self, name: str, **attrs: Any) -> _SpanCloser:
+        """``with tracer.span("solve", graph="elliptic"): ...`` — begins the
+        span immediately and returns a shared closer (no per-call object)."""
+        self.begin(name, **attrs)
+        return self._closer
+
+    # ------------------------------------------------------------------
+    @property
+    def open_spans(self) -> int:
+        return len(self._stack)
+
+    def shape(self) -> Tuple:
+        """Timing-free tree identity of every recorded span, in start order."""
+        return tuple(ev.shape() for ev in self.events)
+
+    def total_ns(self) -> int:
+        """Duration covered by the root spans (depth 0)."""
+        return sum(ev.dur_ns for ev in self.events if ev.depth == 0 and ev.dur_ns >= 0)
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A single module-level instance (:data:`NULL`) is installed whenever no
+    tracer is active, so instrumentation sites can unconditionally read
+    ``active.enabled`` without None checks at coarse sites.
+    """
+
+    enabled = False
+    __slots__ = ()
+
+    def begin(self, name: str, **attrs: Any) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def span(self, name: str, **attrs: Any) -> "_NullSpan":
+        return _NULL_SPAN
+
+    @property
+    def open_spans(self) -> int:
+        return 0
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+#: The disabled-tracer singleton.
+NULL = NullTracer()
+
+#: The tracer instrumentation sites report to.  Hot sites read this module
+#: attribute directly (``tracer.active``) and guard on ``.enabled``.
+active: Union[Tracer, NullTracer] = NULL
+
+
+def current() -> Union[Tracer, NullTracer]:
+    """The currently active tracer (:data:`NULL` when tracing is off)."""
+    return active
+
+
+def activate(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the active tracer and return it."""
+    global active
+    active = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    """Restore the no-op singleton."""
+    global active
+    active = NULL
+
+
+@contextmanager
+def tracing(
+    meta: Optional[Dict[str, Any]] = None, tracer: Optional[Tracer] = None
+) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of a block::
+
+        with tracing(meta={"graph": "elliptic"}) as tr:
+            rotation_schedule(graph, model)
+        write_trace(tr, "trace.jsonl")
+
+    The previously active tracer (usually :data:`NULL`) is restored on
+    exit, even on error, so nested tracing blocks compose.
+    """
+    global active
+    tr = tracer if tracer is not None else Tracer(meta)
+    prev = active
+    active = tr
+    try:
+        yield tr
+    finally:
+        active = prev

@@ -45,6 +45,7 @@ from repro.qa.oracles import (
     check_semantics,
 )
 from repro.qa.shrink import shrink_graph
+from repro.obs.metrics import MetricsRegistry
 from repro.suite.random_graphs import build_case_graph, generator_grid
 
 #: scheduler paths a cell can exercise.
@@ -111,6 +112,9 @@ class FuzzReport:
     skipped: int = 0
     elapsed: float = 0.0
     failures: List[FailureRecord] = field(default_factory=list)
+    #: Unified repro.obs metrics snapshot (schema repro.obs/metrics/v1):
+    #: per-cell wall-time timer, per-oracle verdict counters, shrink steps.
+    metrics: Optional[Dict[str, Any]] = None
 
     def summary(self) -> str:
         head = (
@@ -188,6 +192,14 @@ def run_cell(case: FuzzCase) -> List[OracleFailure]:
     return run_cell_on_graph(case.build_graph(), case.config, case.path)
 
 
+def _run_cell_timed(case: FuzzCase) -> Tuple[float, List[OracleFailure]]:
+    """Worker-side :func:`run_cell` that also reports the cell's wall time
+    (the parent folds it into the run's metrics)."""
+    t0 = time.perf_counter()
+    failures = run_cell(case)
+    return time.perf_counter() - t0, failures
+
+
 # ----------------------------------------------------------------------
 # grids
 # ----------------------------------------------------------------------
@@ -226,18 +238,26 @@ def _record_failure(
     failures: List[OracleFailure],
     out_dir: str,
     shrink: bool,
+    reg: Optional[MetricsRegistry] = None,
 ) -> None:
     """Shrink a failing cell's graph, write its bundle, append the record."""
     primary = failures[0].oracle
+    if reg is not None:
+        for f in failures:
+            reg.inc(f"verdict.{f.oracle}")
     minimized = graph
     if shrink:
+        sstats: Dict[str, int] = {}
         minimized = shrink_graph(
             graph,
             lambda g: any(
                 f.oracle == primary
                 for f in run_cell_on_graph(g, case.config, case.path)
             ),
+            stats=sstats,
         )
+        if reg is not None:
+            reg.inc_extra("shrink_steps", sstats.get("steps", 0))
         # re-run on the minimized graph so the bundle records exactly
         # what replaying it will show
         failures = run_cell_on_graph(minimized, case.config, case.path)
@@ -274,10 +294,11 @@ def _run_fuzz_parallel(
         from concurrent.futures import ProcessPoolExecutor
 
         report = FuzzReport()
+        reg = MetricsRegistry("repro.qa.runner", mode="parallel", jobs=jobs)
         todo = list(cases if max_cells is None else cases[:max_cells])
         report.skipped = len(cases) - len(todo)
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(run_cell, case) for case in todo]
+            futures = [pool.submit(_run_cell_timed, case) for case in todo]
             for idx, (case, future) in enumerate(zip(todo, futures)):
                 if (
                     budget_seconds is not None
@@ -287,15 +308,17 @@ def _run_fuzz_parallel(
                         late.cancel()
                     report.skipped += len(todo) - idx
                     break
-                failures = future.result()
+                cell_seconds, failures = future.result()
+                reg.observe("cell", cell_seconds)
                 report.cells += 1
                 if not failures:
                     report.clean += 1
                     continue
                 _record_failure(
-                    report, case, case.build_graph(), failures, out_dir, shrink
+                    report, case, case.build_graph(), failures, out_dir, shrink, reg
                 )
         report.elapsed = time.perf_counter() - t0
+        _finish_metrics(report, reg)
         return report
     except Exception:
         return None
@@ -333,6 +356,7 @@ def run_fuzz(
         if report is not None:
             return report
     report = FuzzReport()
+    reg = MetricsRegistry("repro.qa.runner", mode="sequential")
     for idx, case in enumerate(cases):
         if max_cells is not None and idx >= max_cells:
             report.skipped = len(cases) - idx
@@ -341,11 +365,22 @@ def run_fuzz(
             report.skipped = len(cases) - idx
             break
         graph = case.build_graph()
-        failures = run_cell_on_graph(graph, case.config, case.path)
+        with reg.timer("cell"):
+            failures = run_cell_on_graph(graph, case.config, case.path)
         report.cells += 1
         if not failures:
             report.clean += 1
             continue
-        _record_failure(report, case, graph, failures, out_dir, shrink)
+        _record_failure(report, case, graph, failures, out_dir, shrink, reg)
     report.elapsed = time.perf_counter() - t0
+    _finish_metrics(report, reg)
     return report
+
+
+def _finish_metrics(report: FuzzReport, reg: MetricsRegistry) -> None:
+    """Fold the run totals into the registry and snapshot it onto the report."""
+    reg.set_counter("cells", report.cells)
+    reg.set_counter("clean", report.clean)
+    reg.set_counter("failing", len(report.failures))
+    reg.set_counter("skipped", report.skipped)
+    report.metrics = reg.as_dict()

@@ -14,7 +14,7 @@ treated as "failure not reproduced" and the removal is rolled back.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.dfg.graph import DFG
 
@@ -49,6 +49,7 @@ def shrink_graph(
     *,
     min_nodes: int = 1,
     max_steps: int = 10_000,
+    stats: Optional[dict] = None,
 ) -> DFG:
     """Minimize ``graph`` while ``predicate`` keeps returning True.
 
@@ -60,11 +61,16 @@ def shrink_graph(
             False.
         min_nodes: stop removing nodes below this count.
         max_steps: hard cap on predicate evaluations (defensive).
+        stats: optional counter dict; receives the number of predicate
+            evaluations performed under ``"steps"`` (accumulating across
+            calls) — observability only.
 
     Returns:
         A 1-minimal failing subgraph (possibly the input itself).
     """
     if not _holds(predicate, graph):
+        if stats is not None:
+            stats["steps"] = stats.get("steps", 0) + 1
         return graph
     current = graph
     steps = 0
@@ -92,4 +98,7 @@ def shrink_graph(
                 changed = True
             else:
                 i += 1
+    if stats is not None:
+        # +1 for the initial reproduction check before the removal loops.
+        stats["steps"] = stats.get("steps", 0) + steps + 1
     return current

@@ -28,6 +28,7 @@ from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.schedule.priorities import get_priority
 from repro.errors import SchedulingError
+from repro.obs import tracer as _obs
 
 
 class OccupancyGrid:
@@ -190,6 +191,34 @@ def _list_schedule(
     the fixed placements, skipping the per-call reseed.  Both default to
     the recompute-everything behavior.
     """
+    tr = _obs.active
+    if tr.enabled:
+        tr.begin("list_schedule", todo=len(todo))
+        try:
+            return _list_schedule_inner(
+                graph, model, fixed_start, fixed_units, todo, r, priority,
+                floor_cs, ctx, grid,
+            )
+        finally:
+            tr.end()
+    return _list_schedule_inner(
+        graph, model, fixed_start, fixed_units, todo, r, priority, floor_cs,
+        ctx, grid,
+    )
+
+
+def _list_schedule_inner(
+    graph: DFG,
+    model: ResourceModel,
+    fixed_start: Dict[NodeId, int],
+    fixed_units: Dict[NodeId, int],
+    todo: List[NodeId],
+    r: Optional[Retiming],
+    priority,
+    floor_cs: int,
+    ctx: Optional[SchedulingContext] = None,
+    grid: Optional[OccupancyGrid] = None,
+) -> Schedule:
     if ctx is None:
         ctx = SchedulingContext(graph, model, r, priority)
     prio = ctx.priority_table()

@@ -30,6 +30,7 @@ from repro.dfg.retiming import Retiming
 from repro.schedule.resources import ResourceModel
 from repro.schedule.schedule import Schedule
 from repro.errors import IllegalScheduleError
+from repro.obs import tracer as _obs
 
 
 def realizing_retiming(schedule: Schedule, period: Optional[int] = None) -> Retiming:
@@ -55,6 +56,19 @@ def realizing_retiming(schedule: Schedule, period: Optional[int] = None) -> Reti
         IllegalScheduleError: when the constraint graph has a negative
             cycle, i.e. no retiming realizes the schedule.
     """
+    tr = _obs.active
+    if tr.enabled:
+        tr.begin("retiming.realize")
+        try:
+            return _realizing_retiming_inner(schedule, period)
+        finally:
+            tr.end()
+    return _realizing_retiming_inner(schedule, period)
+
+
+def _realizing_retiming_inner(
+    schedule: Schedule, period: Optional[int] = None
+) -> Retiming:
     graph = schedule.graph
     # Difference constraints r(dst) - r(src) <= bound, as H-edges src->dst.
     h_edges: List[Tuple[NodeId, NodeId, int]] = []

@@ -1,0 +1,128 @@
+"""Unit tests for repro.obs.export: JSONL round-trip and validation."""
+
+import json
+
+import pytest
+
+from repro.core.scheduler import rotation_schedule
+from repro.obs import (
+    TRACE_SCHEMA,
+    Trace,
+    TraceError,
+    Tracer,
+    parse_trace,
+    read_trace,
+    tracing,
+    validate_trace,
+    write_trace,
+)
+from repro.qa.runner import config_model
+from repro.suite import get_benchmark
+
+
+def _small_tracer():
+    tr = Tracer(meta={"graph": "unit"})
+    with tr.span("a", n=1):
+        with tr.span("b"):
+            pass
+        with tr.span("c", tag="x"):
+            pass
+    return tr
+
+
+class TestWriteRead:
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = _small_tracer()
+        path = tmp_path / "t.jsonl"
+        count = write_trace(tr, str(path))
+        assert count == 3
+
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["events"] == 3
+        assert header["meta"] == {"graph": "unit"}
+        assert len(lines) == 4  # header + one line per event
+
+        trace = read_trace(str(path))
+        assert trace.meta == tr.meta
+        assert trace.shape() == tr.shape()
+        assert [e.as_dict() for e in trace.events] == [
+            e.as_dict() for e in tr.events
+        ]
+
+    def test_event_line_schema(self, tmp_path):
+        tr = _small_tracer()
+        path = tmp_path / "t.jsonl"
+        write_trace(tr, str(path))
+        for line in path.read_text().splitlines()[1:]:
+            ev = json.loads(line)
+            assert set(ev) == {"i", "parent", "depth", "name", "t0_ns", "dur_ns", "attrs"}
+
+    def test_write_refuses_open_spans(self, tmp_path):
+        tr = Tracer()
+        tr.begin("open")
+        with pytest.raises(TraceError):
+            write_trace(tr, str(tmp_path / "t.jsonl"))
+
+    def test_solver_trace_round_trip(self, tmp_path):
+        graph = get_benchmark("diffeq")
+        model = config_model("2A2M")
+        with tracing(meta={"graph": "diffeq"}) as tr:
+            rotation_schedule(graph, model, heuristic="h1", backend="flat")
+        path = tmp_path / "solve.jsonl"
+        write_trace(tr, str(path))
+        trace = read_trace(str(path))
+        assert trace.shape() == tr.shape()
+        assert validate_trace(trace) == []
+
+
+class TestParseErrors:
+    def test_rejects_bad_schema_tag(self):
+        header = json.dumps({"schema": "bogus/v9", "meta": {}, "events": 0})
+        with pytest.raises(TraceError):
+            parse_trace([header])
+
+    def test_rejects_event_count_mismatch(self):
+        tr = _small_tracer()
+        header = json.dumps({"schema": TRACE_SCHEMA, "meta": {}, "events": 5})
+        lines = [header] + [json.dumps(e.as_dict()) for e in tr.events]
+        with pytest.raises(TraceError):
+            parse_trace(lines)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(TraceError):
+            parse_trace([])
+
+
+class TestValidate:
+    def test_clean_trace_validates(self):
+        trace = Trace.from_tracer(_small_tracer())
+        assert validate_trace(trace) == []
+
+    def test_detects_orphan_parent(self):
+        trace = Trace.from_tracer(_small_tracer())
+        trace.events[1].parent = 7
+        assert validate_trace(trace)
+
+    def test_detects_bad_depth(self):
+        trace = Trace.from_tracer(_small_tracer())
+        trace.events[1].depth = 5
+        assert validate_trace(trace)
+
+    def test_detects_negative_duration(self):
+        trace = Trace.from_tracer(_small_tracer())
+        trace.events[2].dur_ns = -5
+        assert validate_trace(trace)
+
+
+class TestTraceHelpers:
+    def test_children_and_roots(self):
+        trace = Trace.from_tracer(_small_tracer())
+        assert [r.name for r in trace.roots()] == ["a"]
+        assert trace.children()[0] == [1, 2]
+
+    def test_render_tree(self):
+        trace = Trace.from_tracer(_small_tracer())
+        text = trace.render_tree()
+        assert "a" in text and "b" in text and "c" in text

@@ -1,0 +1,124 @@
+"""Unit tests for repro.obs.perfcheck: golden cells and the envelope gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs import load_golden_cells, run_perfcheck
+from repro.obs.perfcheck import BASELINE_SPECS
+
+
+def _write_baseline(path, cells):
+    payload = {"benchmarks": [{"extra_info": info} for info in cells]}
+    path.write_text(json.dumps(payload))
+
+
+def _diffeq_cell(seconds, length=6, rotations=154):
+    return {
+        "bench": "diffeq",
+        "config": "2A2M",
+        "heuristic": "h1",
+        "length": length,
+        "rotations": rotations,
+        "flat_seconds": seconds,
+    }
+
+
+class TestLoadGoldenCells:
+    def test_loads_committed_flat_baseline(self):
+        cells = load_golden_cells("BENCH_flat.json", "flat", "flat_seconds")
+        assert cells
+        for cell in cells:
+            assert cell.backend == "flat"
+            assert cell.baseline_seconds > 0
+            assert cell.length > 0
+
+    def test_missing_key_raises(self, tmp_path):
+        path = tmp_path / "b.json"
+        _write_baseline(path, [{"bench": "diffeq", "config": "2A2M"}])
+        with pytest.raises(ReproError):
+            load_golden_cells(str(path), "flat", "flat_seconds")
+
+
+class TestRunPerfcheck:
+    def test_passes_with_generous_envelope(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert report.ok
+        assert len(report.results) == 1
+        assert report.results[0].measured_seconds < 30.0
+
+    def test_detects_wall_time_regression(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=1e-9)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert not report.ok
+        assert any("wall-time regression" in p for p in report.results[0].problems)
+
+    def test_detects_counter_delta(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0, length=99)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert not report.ok
+        assert any("length" in p for p in report.results[0].problems)
+
+    def test_missing_baseline_is_skipped_not_fatal(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(
+                ("b.json", "flat", "flat_seconds"),
+                ("nope.json", "views", "views_seconds"),
+            ),
+            repeats=1,
+        )
+        assert report.ok
+        assert "nope.json" in report.skipped_baselines
+
+    def test_all_baselines_missing_means_not_ok(self, tmp_path):
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("nope.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert not report.ok
+
+    def test_render_mentions_every_cell(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        text = report.render()
+        assert "diffeq@2A2M/h1/flat" in text
+        assert "golden cells" in text
+
+
+class TestCommittedEnvelopes:
+    def test_smoke_against_committed_baselines(self):
+        """The envelope shipped in-repo must hold on the shipping code.
+
+        Tolerance is widened to +200% here because this runs inside a
+        loaded pytest process where tiny cells jitter; the strict +50%
+        smoke runs in a fresh process via ``rotsched gate``.
+        """
+        report = run_perfcheck(root=".", smoke=True, tolerance=2.0)
+        assert report.ok, report.render()
+        # smoke restricts to the flat backend only
+        assert {r.cell.backend for r in report.results} == {"flat"}
+
+    def test_specs_cover_flat_and_views(self):
+        backends = {backend for _, backend, _ in BASELINE_SPECS}
+        assert backends == {"flat", "views"}

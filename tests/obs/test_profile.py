@@ -1,0 +1,90 @@
+"""Unit tests for repro.obs.profile: self/cumulative aggregation."""
+
+from repro.core.scheduler import rotation_schedule
+from repro.obs import SpanEvent, Tracer, aggregate, profile_of, render_profile, tracing
+from repro.qa.runner import config_model
+from repro.suite import get_benchmark
+
+
+def _event(i, parent, depth, name, t0, dur):
+    return SpanEvent(i, parent, depth, name, t0, {}, dur)
+
+
+class TestAggregate:
+    def test_self_time_subtracts_children(self):
+        # root (100ns) -> child (60ns) -> grandchild (10ns)
+        events = [
+            _event(0, -1, 0, "root", 0, 100),
+            _event(1, 0, 1, "child", 10, 60),
+            _event(2, 1, 2, "leaf", 20, 10),
+        ]
+        prof = aggregate(events)
+        rows = prof.rows
+        assert rows["root"].self_ns == 40
+        assert rows["root"].cum_ns == 100
+        assert rows["child"].self_ns == 50
+        assert rows["leaf"].self_ns == 10
+        assert prof.total_ns == 100
+
+    def test_calls_and_max_accumulate_per_name(self):
+        events = [
+            _event(0, -1, 0, "root", 0, 100),
+            _event(1, 0, 1, "k", 0, 30),
+            _event(2, 0, 1, "k", 40, 50),
+        ]
+        rows = aggregate(events).rows
+        assert rows["k"].calls == 2
+        assert rows["k"].cum_ns == 80
+        assert rows["k"].max_ns == 50
+
+    def test_sorted_rows_by_self_time(self):
+        events = [
+            _event(0, -1, 0, "small", 0, 10),
+            _event(1, -1, 0, "big", 20, 90),
+        ]
+        prof = aggregate(events)
+        assert [r.name for r in prof.sorted_rows()] == ["big", "small"]
+
+    def test_empty(self):
+        prof = aggregate([])
+        assert prof.rows == {} and prof.total_ns == 0
+
+
+class TestProfileOf:
+    def test_accepts_tracer(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        prof = profile_of(tr)
+        assert set(prof.rows) == {"a", "b"}
+
+    def test_solver_profile_covers_total(self):
+        graph = get_benchmark("diffeq")
+        model = config_model("2A2M")
+        with tracing() as tr:
+            rotation_schedule(graph, model, heuristic="h1", backend="flat")
+        prof = profile_of(tr)
+        # self times of all rows partition the root span exactly
+        assert sum(r.self_ns for r in prof.rows.values()) == prof.total_ns
+        assert prof.total_ns > 0
+
+
+class TestRender:
+    def test_render_profile_table(self):
+        tr = Tracer()
+        with tr.span("alpha"):
+            with tr.span("beta"):
+                pass
+        text = render_profile(profile_of(tr), top=5, title="unit")
+        assert "alpha" in text and "beta" in text
+        assert "self" in text and "cum" in text
+
+    def test_top_truncates(self):
+        tr = Tracer()
+        with tr.span("a"):
+            for name in ("b", "c", "d"):
+                with tr.span(name):
+                    pass
+        text = render_profile(profile_of(tr), top=2)
+        assert "more span name" in text

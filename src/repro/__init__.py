@@ -32,6 +32,7 @@ from repro.schedule import (
     realizing_retiming,
 )
 from repro.core import (
+    MutableSchedulingSession,
     RotationEngine,
     RotationResult,
     RotationScheduler,
@@ -39,6 +40,7 @@ from repro.core import (
     WrappedSchedule,
     heuristic_1,
     heuristic_2,
+    open_session,
     reduce_depth,
     rotation_schedule,
     wrap,
@@ -86,6 +88,7 @@ __all__ = [
     "Edge",
     "GraphError",
     "IllegalScheduleError",
+    "MutableSchedulingSession",
     "PAPER_TIMING",
     "ReproError",
     "ResourceModel",
@@ -120,6 +123,7 @@ __all__ = [
     "lattice",
     "lower_bound",
     "modulo_schedule",
+    "open_session",
     "partial_schedule",
     "realizing_retiming",
     "register_requirement",

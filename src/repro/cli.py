@@ -15,6 +15,10 @@ Subcommands:
   skeleton.
 * ``svg`` — schedule and write an SVG Gantt chart.
 * ``unfold`` — unfold a graph by a factor and write it as JSON.
+* ``session`` — open a MutableSchedulingSession on a DFG, replay a JSON
+  edit script (or a pinned script name), and print the repaired schedule
+  after every edit (``--compare`` times each repair against the
+  from-scratch solve of the edited graph).
 * ``fuzz`` — differential fuzzing: push seeded random graphs through
   every scheduler path and certify them against the oracle stack
   (``--smoke`` is the bounded pre-merge tier; ``--jobs N`` fans cells out
@@ -294,6 +298,73 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_session(args: argparse.Namespace) -> int:
+    import json
+    import time
+
+    from repro.core.session import open_session
+    from repro.qa.incremental import PINNED_EDIT_SCRIPTS
+
+    graph = _load_graph(args.graph)
+    model, label = parse_config(args.resources)
+    if args.script in PINNED_EDIT_SCRIPTS:
+        edits = PINNED_EDIT_SCRIPTS[args.script]
+    else:
+        with open(args.script, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        edits = data["edits"] if isinstance(data, dict) else data
+    backend = args.backend or ("naive" if args.no_engine else None)
+    session = open_session(
+        graph,
+        model,
+        heuristic=args.heuristic,
+        beta=args.beta,
+        priority=args.priority,
+        backend=backend,
+    )
+    t0 = time.perf_counter()
+    result = session.resolve()
+    base_ms = (time.perf_counter() - t0) * 1e3
+    print(
+        f"session {graph.name or args.graph} @ {label}: base solve "
+        f"length {result.length} depth {result.depth}  [{base_ms:.1f} ms]"
+    )
+    for i, op in enumerate(edits):
+        session.apply_edit(op)
+        t0 = time.perf_counter()
+        result = session.resolve(mode=args.mode)
+        ms = (time.perf_counter() - t0) * 1e3
+        line = (
+            f"  edit {i} ({op['edit']}): length {result.length} "
+            f"depth {result.depth}  [{ms:.1f} ms]"
+        )
+        if args.compare:
+            t0 = time.perf_counter()
+            scratch = rotation_schedule(
+                session.graph, session.model,
+                heuristic=args.heuristic, backend=backend,
+            )
+            scratch_ms = (time.perf_counter() - t0) * 1e3
+            speedup = scratch_ms / ms if ms else float("inf")
+            line += f"  vs scratch {scratch_ms:.1f} ms ({speedup:.1f}x)"
+            if scratch.length != result.length:
+                line += f"  [scratch length {scratch.length}]"
+        print(line)
+    m = session.metrics
+    print(
+        f"metrics: edits {m['edits_applied']}, repairs {m['repairs']}, "
+        f"full solves {m['full_solves']}, invalidated {m['nodes_invalidated']}, "
+        f"kept {m['nodes_kept']}, engine patches {m['engine_patches']}, "
+        f"recompiles {m['engine_recompiles']}"
+    )
+    if args.render:
+        print()
+        print(render_schedule(result.schedule, session.model, retiming=result.retiming))
+    if args.engine_stats:
+        _print_engine_stats(result)
+    return 0
+
+
 def cmd_perfcheck(args: argparse.Namespace) -> int:
     from repro.obs import run_perfcheck
 
@@ -523,6 +594,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", default=None, help="profile an exported trace.jsonl instead")
     p.add_argument("--top", type=int, default=None, help="show only the top N span names")
     p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "session",
+        help="replay a JSON edit script through an incremental scheduling session",
+    )
+    p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")
+    p.add_argument(
+        "script",
+        help="JSON edit script (a list of edit ops, or {\"edits\": [...]}), "
+        "or a pinned script name (tighten-adder, drop-mult, slow-node)",
+    )
+    p.add_argument("-r", "--resources", default="2A2M", help="config like 3A2M / 2A1Mp")
+    add_sched_flags(p)
+    p.add_argument(
+        "--mode",
+        choices=["repair", "solve"],
+        default=None,
+        help="force per-edit repair or full re-solve (default: repair)",
+    )
+    p.add_argument(
+        "--compare",
+        action="store_true",
+        help="also time a from-scratch solve after each edit and print the speedup",
+    )
+    p.add_argument(
+        "--render",
+        action="store_true",
+        help="print the final repaired schedule table",
+    )
+    p.set_defaults(func=cmd_session)
 
     p = sub.add_parser(
         "perfcheck",

@@ -29,13 +29,16 @@ from repro.core.nested import (
 )
 from repro.core.chained_rotation import ChainedRotationState, chained_rotation_schedule
 from repro.core.scheduler import RotationResult, RotationScheduler, rotation_schedule
+from repro.core.session import EDIT_KINDS, MutableSchedulingSession, open_session
 
 __all__ = [
     "BACKENDS",
+    "EDIT_KINDS",
     "HEURISTICS",
     "BestTracker",
     "ChainedRotationState",
     "EngineStats",
+    "MutableSchedulingSession",
     "FlatEngine",
     "FlatGraph",
     "FlatModel",
@@ -57,6 +60,7 @@ __all__ = [
     "nested_full_schedule",
     "heuristic_2",
     "minimal_depth",
+    "open_session",
     "pipeline_depth",
     "pipeline_nested_loop",
     "reduce_depth",

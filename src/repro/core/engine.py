@@ -185,6 +185,15 @@ class ViewCache:
         """Priority table of ``G_r`` (the chained driver's entry point)."""
         return self.get(r).prio
 
+    def apply_delta(self) -> None:
+        """Resynchronize with an in-place graph mutation: every cached view
+        read the old structure, so drop them all and refresh the node-keyed
+        time/bitmask columns (node set or timing may have changed)."""
+        self._views.clear()
+        graph = self.graph
+        self._time = {v: graph.time(v, self.timing) for v in graph.nodes}
+        self._bit = {v: 1 << i for i, v in enumerate(graph.nodes)}
+
     # ------------------------------------------------------------------
     def _store(self, r: Retiming, view: GraphView) -> None:
         if len(self._views) >= self.max_views:
@@ -435,6 +444,7 @@ class RotationEngine:
         self._stats = EngineStats()
         self.views = ViewCache(graph, model.timing(), priority, self._stats, max_views)
         self.node_index: Dict[NodeId, int] = {v: i for i, v in enumerate(graph.nodes)}
+        self._epoch = graph.epoch
         self._grid: Optional[OccupancyGrid] = None
         self._grid_token: Optional[int] = None
         self._starts: Dict[NodeId, int] = {}
@@ -457,6 +467,50 @@ class RotationEngine:
             state.graph is self.graph
             and state.model is self.model
             and state.priority == self.priority
+            and self._epoch == self.graph.epoch
+        )
+
+    # -- delta resynchronization (MutableSchedulingSession path) --------
+    def apply_delta(self, edits=None, model: Optional[ResourceModel] = None) -> Dict[str, int]:
+        """Resynchronize the engine after in-place graph/model mutation.
+
+        Mirror of :meth:`repro.core.flat.engine.FlatEngine.apply_delta`.
+        The dict engine's caches are node-keyed rather than index-packed,
+        so there is nothing to splice: the view cache refreshes its per-node
+        columns and drops the retiming-keyed views, the node-index table
+        rebuilds, and the occupancy chain tip is abandoned.  ``edits`` is
+        accepted for interface symmetry but only its presence matters.
+        """
+        if model is not None:
+            self.model = model
+            self.views.timing = model.timing()
+        self.views.apply_delta()
+        self.node_index = {v: i for i, v in enumerate(self.graph.nodes)}
+        self._grid = None
+        self._grid_token = None
+        self._starts = {}
+        self._units = {}
+        self._epoch = self.graph.epoch
+        return {"patched": 0, "recompiled": 1}
+
+    def repair(self, fixed_start, fixed_units, todo, r: Retiming):
+        """Re-place ``todo`` against fixed placements under retiming ``r``
+        (the session's post-edit repair primitive; see FlatEngine.repair)."""
+        from repro.core.rotation import RotationState
+
+        view = self.views.get(r)
+        grid = self._seed_grid(fixed_start, fixed_units)
+        self._stats.grid_reseeds += 1
+        sched = _list_schedule(
+            self.graph, self.model, dict(fixed_start), dict(fixed_units),
+            list(todo), r, self.priority, 0,
+            ctx=_ViewContext(self, view), grid=grid,
+        )
+        sched, grid = self._normalize(sched, grid)
+        token = self._adopt(sched, grid)
+        return RotationState(
+            self.graph, self.model, r, sched, self.priority,
+            engine=self, engine_token=token,
         )
 
     # ------------------------------------------------------------------

@@ -72,9 +72,11 @@ class FlatEngine:
     """Array-backed rotation engine (``backend="flat"``).
 
     One engine serves one ``(graph, model, priority)`` triple; the graph is
-    snapshotted once into a :class:`FlatGraph` and must not be mutated
-    afterwards (:meth:`compatible_with` cheaply guards against that by
-    comparing node/edge counts, falling back to the naive path on mismatch).
+    snapshotted once into a :class:`FlatGraph` and the snapshot's epoch is
+    recorded (:meth:`compatible_with` compares it against the live graph's
+    epoch, falling back to the naive path after unsynchronized in-place
+    mutation).  :meth:`apply_delta` resynchronizes the snapshot after
+    mutation — the MutableSchedulingSession path.
     """
 
     backend_name = "flat"
@@ -92,6 +94,9 @@ class FlatEngine:
         self._stats = EngineStats()
         self.fg = FlatGraph(graph)
         self.fm = FlatModel(self.fg, model)
+        # Graph epoch the snapshot was compiled/patched at; apply_delta
+        # resynchronizes it after in-place mutation (session path).
+        self._epoch = graph.epoch
         self._views: Dict[Retiming, FlatView] = {}
         # Chain tip: the grid + start/unit vectors of the most recently
         # produced schedule (see RotationEngine's token protocol).
@@ -139,8 +144,88 @@ class FlatEngine:
             state.graph is self.graph
             and state.model is self.model
             and state.priority == self.priority
-            and self.fg.n == self.graph.num_nodes
-            and self.fg.m == self.graph.num_edges
+            and self._epoch == self.graph.epoch
+        )
+
+    # -- delta resynchronization (MutableSchedulingSession path) --------
+    def apply_delta(self, edits, model: Optional[ResourceModel] = None) -> Dict[str, int]:
+        """Resynchronize the engine after in-place graph/model mutation.
+
+        ``edits`` is :meth:`DFG.edits_since` output covering everything
+        since this engine's epoch (``None`` — log truncated — forces a full
+        recompile); ``model`` optionally replaces the resource model.  The
+        FlatGraph snapshot is patched in place when the damage is local and
+        recompiled otherwise; the FlatModel, all cached views, the chain
+        tip, and the walk-admission counters are always rebuilt/cleared —
+        they are cheap relative to a solve and depend on both graph and
+        model.  Returns ``{"patched": 0|1, "recompiled": 0|1}``.
+        """
+        if model is not None:
+            self.model = model
+        patched = recompiled = False
+        if edits is None:
+            self.fg = FlatGraph(self.graph)
+            recompiled = True
+        elif edits:
+            if self.fg.apply_delta(edits):
+                patched = True
+            else:
+                self.fg = FlatGraph(self.graph)
+                recompiled = True
+        self.fm = FlatModel(self.fg, self.model)
+        self._views.clear()
+        self._grid = None
+        self._grid_token = None
+        self._start_list = []
+        self._unit_list = []
+        self._tip_view = None
+        self._walk_misses = 0
+        self._epoch = self.graph.epoch
+        return {"patched": int(patched), "recompiled": int(recompiled)}
+
+    def repair(self, fixed_start, fixed_units, todo, r: Retiming):
+        """Re-place ``todo`` against fixed placements under retiming ``r``.
+
+        The session's post-edit repair primitive: behaviorally identical to
+        the naive ``_list_schedule`` call with the same arguments (pinned
+        bit-for-bit by the incremental-parity oracle), run over the flat
+        columns with a reseeded grid.  Returns a chain-tip
+        :class:`RotationState` so follow-up rotations get the delta path.
+        """
+        from repro.core.rotation import RotationState
+
+        view = self._get_view(r)
+        fg, fm = self.fg, self.fm
+        start: List[Optional[int]] = [None] * fg.n
+        units: List[Optional[int]] = [None] * fg.n
+        index = fg.index
+        for v, cs in fixed_start.items():
+            i = index[v]
+            start[i] = cs
+            units[i] = fixed_units.get(v)
+        todo_idx = sorted(index[v] for v in todo)
+        grid = seed_grid(fg, fm, start, units)
+        self._stats.grid_reseeds += 1
+        tr = _obs.active
+        if tr.enabled:
+            tr.begin("kernel.list_schedule", todo=len(todo_idx))
+            try:
+                flat_list_schedule(
+                    fg, fm, view.zsucc, view.zpred, view.skey,
+                    start, units, todo_idx, 0, grid,
+                )
+            finally:
+                tr.end()
+        else:
+            flat_list_schedule(
+                fg, fm, view.zsucc, view.zpred, view.skey,
+                start, units, todo_idx, 0, grid,
+            )
+        token, sched = self._finish(start, units, grid)
+        self._tip_view = view
+        return RotationState(
+            self.graph, self.model, r, sched,
+            self.priority, engine=self, engine_token=token,
         )
 
     # -- view cache ----------------------------------------------------

@@ -91,9 +91,12 @@ def wrapped_length(schedule: Schedule, retiming: Retiming) -> int:
     return wrap(schedule, retiming).period
 
 
-#: graph -> {id(model): (model, node facts, edge facts, min occupancy)}.
-#: The strong model reference inside the value keeps the id stable for the
-#: lifetime of the entry; the outer keys die with their graphs.
+#: graph -> {id(model): (model, graph epoch, node facts, edge facts,
+#: min occupancy)}.  The strong model reference inside the value keeps the
+#: id stable for the lifetime of the entry; the outer keys die with their
+#: graphs.  The stored epoch invalidates the entry after in-place graph
+#: mutation (see the DFG versioned-mutation protocol) — without it a
+#: MutableSchedulingSession would wrap against stale node/edge facts.
 _WRAP_STATIC: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
@@ -104,7 +107,7 @@ def _wrap_static(graph: DFG, model: ResourceModel):
         per_graph = {}
         _WRAP_STATIC[graph] = per_graph
     entry = per_graph.get(id(model))
-    if entry is None or entry[0] is not model:
+    if entry is None or entry[0] is not model or entry[1] != graph.epoch:
         min_occ = 1
         nodes = []
         for v in graph.nodes:
@@ -117,9 +120,9 @@ def _wrap_static(graph: DFG, model: ResourceModel):
             (e.src, e.dst, e.delay, model.latency(graph.op(e.src)))
             for e in graph.edges
         ]
-        entry = (model, nodes, edges, min_occ)
+        entry = (model, graph.epoch, nodes, edges, min_occ)
         per_graph[id(model)] = entry
-    return entry[1], entry[2], entry[3]
+    return entry[2], entry[3], entry[4]
 
 
 def wrap(schedule: Schedule, retiming: Retiming) -> WrappedSchedule:

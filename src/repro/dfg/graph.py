@@ -29,6 +29,41 @@ from repro.errors import GraphError
 
 NodeId = Hashable
 
+#: Retained edit-log length.  Consumers that fall further behind than this
+#: get ``None`` from :meth:`DFG.edits_since` and must rebuild from scratch.
+_EDIT_LOG_CAP = 1024
+
+
+@dataclass(frozen=True)
+class GraphEdit:
+    """One entry of a DFG's edit log (the versioned-mutation protocol).
+
+    Every mutating operation appends exactly one record and bumps the
+    graph's :attr:`DFG.epoch`, so a cache built at epoch ``k`` can ask
+    :meth:`DFG.edits_since` for precisely what happened after ``k`` and
+    patch itself instead of recompiling.  Only the fields relevant to the
+    ``kind`` are set:
+
+    ==================  ====================================================
+    ``add_node``         ``node``, ``op``, ``time``
+    ``remove_node``      ``node`` (its incident edges are logged as
+                         ``remove_edge`` records *before* this one)
+    ``add_edge``         ``eid``, ``src``, ``dst``, ``delay``
+    ``remove_edge``      ``eid``, ``src``, ``dst``, ``delay`` (old delay)
+    ``set_delay``        ``eid``, ``src``, ``dst``, ``delay`` (new delay)
+    ``set_exec_time``    ``node``, ``time`` (new explicit time or None)
+    ==================  ====================================================
+    """
+
+    kind: str
+    node: Optional[NodeId] = None
+    op: Optional[str] = None
+    eid: Optional[int] = None
+    src: Optional[NodeId] = None
+    dst: Optional[NodeId] = None
+    delay: Optional[int] = None
+    time: Optional[int] = None
+
 
 @dataclass(frozen=True)
 class Edge:
@@ -126,6 +161,12 @@ class DFG:
         # Initial register values keyed by edge id; used by the execution
         # simulator (d values per edge, oldest first).
         self._edge_init: Dict[int, Tuple[Any, ...]] = {}
+        # Versioned-mutation protocol: every mutation bumps _epoch and
+        # appends a GraphEdit.  _log_base is the epoch value of the first
+        # retained log entry (the log is capped at _EDIT_LOG_CAP records).
+        self._epoch = 0
+        self._edit_log: List[GraphEdit] = []
+        self._log_base = 0
 
     # ------------------------------------------------------------------
     # construction
@@ -159,6 +200,7 @@ class DFG:
         self._nodes[node] = _NodeRecord(op=op, time=time, label=label, func=func, attrs=dict(attrs))
         self._out[node] = []
         self._in[node] = []
+        self._log(GraphEdit("add_node", node=node, op=op, time=time))
         return node
 
     def add_edge(
@@ -193,16 +235,18 @@ class DFG:
                     f"edge {src!r}->{dst!r}: {len(values)} initial values for {delay} delays"
                 )
             self._edge_init[edge.eid] = values
+        self._log(GraphEdit("add_edge", eid=edge.eid, src=src, dst=dst, delay=delay))
         return edge
 
     def remove_edge(self, edge: Edge) -> None:
         """Remove an edge previously returned by :meth:`add_edge`."""
         if edge.eid not in self._edges:
             raise GraphError(f"edge {edge} not in graph")
-        del self._edges[edge.eid]
-        self._out[edge.src].remove(edge.eid)
-        self._in[edge.dst].remove(edge.eid)
-        self._edge_init.pop(edge.eid, None)
+        old = self._edges.pop(edge.eid)
+        self._out[old.src].remove(old.eid)
+        self._in[old.dst].remove(old.eid)
+        self._edge_init.pop(old.eid, None)
+        self._log(GraphEdit("remove_edge", eid=old.eid, src=old.src, dst=old.dst, delay=old.delay))
 
     def remove_node(self, node: NodeId) -> None:
         """Remove a node and all incident edges."""
@@ -214,6 +258,69 @@ class DFG:
         del self._nodes[node]
         del self._out[node]
         del self._in[node]
+        self._log(GraphEdit("remove_node", node=node))
+
+    def set_delay(self, edge: "Edge | int", delay: int) -> Edge:
+        """Replace an edge's delay in place.
+
+        The edge keeps its id and its position in insertion order; a stored
+        ``init`` whose length no longer matches the new delay is dropped
+        (the register chain it described no longer exists).  Accepts the
+        :class:`Edge` object or its integer id; returns the new edge.
+        """
+        eid = edge.eid if isinstance(edge, Edge) else edge
+        old = self.edge_by_id(eid)
+        if delay < 0:
+            raise GraphError(f"edge {old}: negative delay {delay}")
+        if delay == old.delay:
+            return old
+        new = Edge(eid, old.src, old.dst, delay)
+        self._edges[eid] = new
+        init = self._edge_init.get(eid)
+        if init is not None and len(init) != delay:
+            del self._edge_init[eid]
+        self._log(GraphEdit("set_delay", eid=eid, src=new.src, dst=new.dst, delay=delay))
+        return new
+
+    def set_exec_time(self, node: NodeId, time: Optional[int]) -> None:
+        """Set/clear a node's explicit computation time (None = timing model)."""
+        if time is not None and time <= 0:
+            raise GraphError(f"node {node!r}: nonpositive time {time}")
+        rec = self._record(node)
+        if rec.time == time:
+            return
+        rec.time = time
+        self._log(GraphEdit("set_exec_time", node=node, time=time))
+
+    # ------------------------------------------------------------------
+    # versioned-mutation protocol
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Monotonic mutation counter; bumps on every structural/attr edit."""
+        return self._epoch
+
+    def edits_since(self, epoch: int) -> Optional[List[GraphEdit]]:
+        """The edits applied after ``epoch``, oldest first.
+
+        Returns ``[]`` when the graph is unchanged, or ``None`` when
+        ``epoch`` predates the retained log (or lies in the future) — the
+        caller must then resynchronize from scratch.
+        """
+        if epoch == self._epoch:
+            return []
+        if epoch < self._log_base or epoch > self._epoch:
+            return None
+        return list(self._edit_log[epoch - self._log_base :])
+
+    def _log(self, edit: GraphEdit) -> None:
+        self._epoch += 1
+        log = self._edit_log
+        log.append(edit)
+        if len(log) > _EDIT_LOG_CAP:
+            drop = len(log) - _EDIT_LOG_CAP
+            del log[:drop]
+            self._log_base += drop
 
     # ------------------------------------------------------------------
     # queries

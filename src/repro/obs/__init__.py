@@ -17,7 +17,14 @@ Four pieces, all stdlib-only:
 
 from repro.obs.export import Trace, TraceError, parse_trace, read_trace, validate_trace, write_trace
 from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, engine_metrics, render_metrics
-from repro.obs.perfcheck import GoldenCell, PerfReport, load_golden_cells, run_perfcheck
+from repro.obs.perfcheck import (
+    GoldenCell,
+    IncrementalCell,
+    PerfReport,
+    load_golden_cells,
+    load_incremental_cells,
+    run_perfcheck,
+)
 from repro.obs.profile import Profile, ProfileRow, aggregate, profile_of, render_profile
 from repro.obs.tracer import (
     NULL,
@@ -36,6 +43,7 @@ __all__ = [
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
     "GoldenCell",
+    "IncrementalCell",
     "MetricsRegistry",
     "NullTracer",
     "PerfReport",
@@ -51,6 +59,7 @@ __all__ = [
     "deactivate",
     "engine_metrics",
     "load_golden_cells",
+    "load_incremental_cells",
     "parse_trace",
     "profile_of",
     "read_trace",

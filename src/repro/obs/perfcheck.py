@@ -12,6 +12,12 @@ tree and fails when
 * the *wall time* regresses past the tolerance band
   (``measured > baseline * (1 + tolerance)``).
 
+``BENCH_incremental.json`` extends the envelope to the
+MutableSchedulingSession repair path: each cell pins a single-edit script
+on a golden cell and fails when the repaired schedule's length or
+invalidation count drifts, the repair wall time regresses, or the
+repair-vs-scratch speedup drops below :data:`MIN_REPAIR_SPEEDUP`.
+
 Timing uses ``time.process_time`` with a min-of-N inner loop, the same
 methodology the committed baselines were recorded with, so the comparison
 is CPU time against CPU time.  ``rotsched gate`` runs the ``--smoke``
@@ -37,6 +43,14 @@ BASELINE_SPECS: Tuple[Tuple[str, str, str], ...] = (
     ("BENCH_flat.json", "flat", "flat_seconds"),
     ("BENCH_engine.json", "views", "views_seconds"),
 )
+
+#: Committed envelope for session repair vs from-scratch solve
+#: (written by ``benchmarks/bench_incremental.py``).
+INCREMENTAL_BASELINE = "BENCH_incremental.json"
+
+#: Session repair must stay at least this many times faster than a
+#: from-scratch solve on every pinned single-edit script.
+MIN_REPAIR_SPEEDUP = 3.0
 
 
 @dataclass(frozen=True)
@@ -77,6 +91,46 @@ class CellResult:
         return self.measured_seconds / base if base else float("inf")
 
 
+@dataclass(frozen=True)
+class IncrementalCell:
+    """One pinned repair-vs-scratch cell of ``BENCH_incremental.json``."""
+
+    source: str
+    bench: str
+    config: str
+    heuristic: str
+    script: str
+    edits: Tuple[Any, ...]
+    repair_seconds: float
+    scratch_seconds: float
+    speedup: float
+    length: int
+    invalidated: int
+
+    def label(self) -> str:
+        return f"{self.bench}@{self.config}/{self.heuristic}/{self.script}"
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of re-running one pinned edit script through a session."""
+
+    cell: IncrementalCell
+    repair_seconds: float = 0.0
+    scratch_seconds: float = 0.0
+    length: Optional[int] = None
+    invalidated: Optional[int] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def speedup(self) -> float:
+        return self.scratch_seconds / self.repair_seconds if self.repair_seconds else float("inf")
+
+
 @dataclass
 class PerfReport:
     """Aggregate perfcheck outcome."""
@@ -86,10 +140,15 @@ class PerfReport:
     repeats: int = 3
     elapsed: float = 0.0
     skipped_baselines: List[str] = field(default_factory=list)
+    incremental: List[IncrementalResult] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return all(r.ok for r in self.results) and bool(self.results)
+        return (
+            all(r.ok for r in self.results)
+            and all(r.ok for r in self.incremental)
+            and bool(self.results)
+        )
 
     def summary(self) -> str:
         bad = sum(1 for r in self.results if not r.ok)
@@ -98,6 +157,12 @@ class PerfReport:
             f"cells within envelope (tolerance +{self.tolerance:.0%}, "
             f"min-of-{self.repeats}) in {self.elapsed:.1f}s"
         )
+        if self.incremental:
+            ibad = sum(1 for r in self.incremental if not r.ok)
+            head += (
+                f"; incremental {len(self.incremental) - ibad}/"
+                f"{len(self.incremental)} repair cells ok"
+            )
         if self.skipped_baselines:
             head += f"; missing baselines skipped: {', '.join(self.skipped_baselines)}"
         if bad:
@@ -114,6 +179,15 @@ class PerfReport:
                 f"  {status:<4} {r.cell.label():<28} "
                 f"baseline {r.cell.baseline_seconds:.4f}s  "
                 f"measured {r.measured_seconds:.4f}s  (x{r.ratio:.2f})"
+            )
+            for p in r.problems:
+                lines.append(f"       - {p}")
+        for r in self.incremental:
+            status = "ok" if r.ok else "FAIL"
+            lines.append(
+                f"  {status:<4} {r.cell.label():<28} "
+                f"repair {r.repair_seconds:.4f}s  "
+                f"scratch {r.scratch_seconds:.4f}s  ({r.speedup:.1f}x)"
             )
             for p in r.problems:
                 lines.append(f"       - {p}")
@@ -151,6 +225,108 @@ def load_golden_cells(
     if not cells:
         raise ReproError(f"no golden cells with '{seconds_key}' found in {path}")
     return cells
+
+
+def load_incremental_cells(path: str) -> List[IncrementalCell]:
+    """Extract pinned repair cells from ``BENCH_incremental.json``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    cells: List[IncrementalCell] = []
+    source = os.path.basename(path)
+    needed = {"bench", "config", "heuristic", "script", "edits",
+              "repair_seconds", "scratch_seconds", "length", "invalidated"}
+    for entry in data.get("benchmarks", ()):
+        info = entry.get("extra_info") or {}
+        if not needed <= info.keys():
+            continue
+        cells.append(
+            IncrementalCell(
+                source=source,
+                bench=info["bench"],
+                config=info["config"],
+                heuristic=info["heuristic"],
+                script=info["script"],
+                edits=tuple(info["edits"]),
+                repair_seconds=float(info["repair_seconds"]),
+                scratch_seconds=float(info["scratch_seconds"]),
+                speedup=float(info.get("speedup", 0.0)),
+                length=int(info["length"]),
+                invalidated=int(info["invalidated"]),
+            )
+        )
+    if not cells:
+        raise ReproError(f"no incremental repair cells found in {path}")
+    return cells
+
+
+def _measure_incremental_cell(
+    cell: IncrementalCell, repeats: int, tolerance: float
+) -> IncrementalResult:
+    """Replay one pinned edit script: repaired resolve vs scratch solve.
+
+    Each repeat opens a fresh session (flat backend, matching the
+    committed baseline), solves untimed, then times only the repairing
+    ``resolve()`` after the script is applied; the from-scratch side times
+    ``rotation_schedule`` on the edited graph.  Both are min-of-N
+    ``process_time``, the same methodology as the golden cells.
+    """
+    from repro.core.scheduler import rotation_schedule
+    from repro.core.session import open_session
+    from repro.qa.runner import config_model
+    from repro.suite.registry import get_benchmark
+
+    graph = get_benchmark(cell.bench)
+    model = config_model(cell.config)
+    repair_best = float("inf")
+    result = session = None
+    for _ in range(max(repeats, 1)):
+        session = open_session(
+            graph, model, heuristic=cell.heuristic, backend="flat"
+        )
+        session.resolve()
+        for op in cell.edits:
+            session.apply_edit(op)
+        t0 = time.process_time()
+        out = session.resolve()
+        dt = time.process_time() - t0
+        if dt < repair_best:
+            repair_best = dt
+            result = out
+    scratch_best = float("inf")
+    for _ in range(max(repeats, 1)):
+        t0 = time.process_time()
+        rotation_schedule(
+            session.graph, session.model, heuristic=cell.heuristic, backend="flat"
+        )
+        scratch_best = min(scratch_best, time.process_time() - t0)
+    ir = IncrementalResult(
+        cell,
+        repair_seconds=repair_best,
+        scratch_seconds=scratch_best,
+        length=result.length,
+        invalidated=session.metrics["nodes_invalidated"],
+    )
+    if result.length != cell.length:
+        ir.problems.append(
+            f"counter delta: repaired length {result.length} != pinned {cell.length}"
+        )
+    if ir.invalidated != cell.invalidated:
+        ir.problems.append(
+            f"counter delta: invalidated {ir.invalidated} != pinned {cell.invalidated}"
+        )
+    if ir.speedup < MIN_REPAIR_SPEEDUP:
+        ir.problems.append(
+            f"repair speedup {ir.speedup:.2f}x below required "
+            f"{MIN_REPAIR_SPEEDUP:.1f}x (repair {repair_best:.4f}s, "
+            f"scratch {scratch_best:.4f}s)"
+        )
+    limit = cell.repair_seconds * (1.0 + tolerance)
+    if repair_best > limit:
+        ir.problems.append(
+            f"wall-time regression: repair {repair_best:.4f}s > "
+            f"{cell.repair_seconds:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+        )
+    return ir
 
 
 def _measure_cell(cell: GoldenCell, repeats: int) -> CellResult:
@@ -201,6 +377,7 @@ def run_perfcheck(
     tolerance: float = 0.5,
     repeats: int = 3,
     smoke: bool = False,
+    incremental_baseline: Optional[str] = INCREMENTAL_BASELINE,
 ) -> PerfReport:
     """Re-run every pinned golden cell and compare against its envelope.
 
@@ -213,6 +390,10 @@ def run_perfcheck(
         smoke: the pre-merge tier — flat cells only, ``min(repeats, 2)``
             timing runs, and tolerance floored at ±50% so CI noise does
             not flake the gate.
+        incremental_baseline: filename of the committed session-repair
+            envelope (``None`` disables the incremental tier).  Repair
+            cells gate the ``MIN_REPAIR_SPEEDUP`` floor on top of the
+            usual counter pins and wall tolerance.
     """
     t0 = time.perf_counter()
     if smoke:
@@ -235,5 +416,14 @@ def run_perfcheck(
                     f"= {limit:.4f}s"
                 )
             report.results.append(cr)
+    if incremental_baseline is not None:
+        path = os.path.join(root, incremental_baseline)
+        if not os.path.exists(path):
+            report.skipped_baselines.append(incremental_baseline)
+        else:
+            for icell in load_incremental_cells(path):
+                report.incremental.append(
+                    _measure_incremental_cell(icell, repeats, tolerance)
+                )
     report.elapsed = time.perf_counter() - t0
     return report

@@ -28,6 +28,11 @@ from repro.qa.oracles import (
 )
 from repro.qa.shrink import shrink_graph
 from repro.qa.bundle import ReproBundle, load_bundle, replay_bundle, write_bundle
+from repro.qa.incremental import (
+    PINNED_EDIT_SCRIPTS,
+    check_incremental_session,
+    random_edit_script,
+)
 from repro.qa.runner import (
     DEFAULT_CONFIGS,
     PATHS,
@@ -49,9 +54,11 @@ __all__ = [
     "FuzzReport",
     "OracleFailure",
     "PATHS",
+    "PINNED_EDIT_SCRIPTS",
     "ReproBundle",
     "certify_rotation",
     "certify_wrapped",
+    "check_incremental_session",
     "check_lower_bound",
     "check_modulo",
     "check_parity",
@@ -61,6 +68,7 @@ __all__ = [
     "config_model",
     "grid_cases",
     "load_bundle",
+    "random_edit_script",
     "replay_bundle",
     "run_cell",
     "run_cell_on_graph",

@@ -17,6 +17,8 @@ Scheduler paths:
 ``dag_list``   non-pipelined DAG list-scheduling baseline
 ``modulo``     iterative modulo scheduling baseline (flat + kernel forms)
 ``retime_ls``  retime-then-list-schedule baseline
+``incremental``  random edit script replayed through mutable sessions on
+                 all backends; each repair bit-identical + certified
 ========== ==========================================================
 """
 
@@ -49,7 +51,9 @@ from repro.obs.metrics import MetricsRegistry
 from repro.suite.random_graphs import build_case_graph, generator_grid
 
 #: scheduler paths a cell can exercise.
-PATHS: Tuple[str, ...] = ("h1", "h2", "parity", "dag_list", "modulo", "retime_ls")
+PATHS: Tuple[str, ...] = (
+    "h1", "h2", "parity", "dag_list", "modulo", "retime_ls", "incremental"
+)
 
 #: default resource configs — small enough to stress contention.
 DEFAULT_CONFIGS: Tuple[str, ...] = ("1A1M", "2A1M", "2A1Mp")
@@ -184,6 +188,10 @@ def _run_path(graph: DFG, model: ResourceModel, path: str) -> List[OracleFailure
         result = retime_then_schedule(graph, model)
         w = result.wrapped
         return certify_wrapped(graph, model, w.schedule, w.retiming, w.period)
+    if path == "incremental":
+        from repro.qa.incremental import check_incremental_session
+
+        return check_incremental_session(graph, model)
     raise ReproError(f"unknown scheduler path {path!r}; choose from {PATHS}")
 
 

@@ -1,0 +1,59 @@
+"""The ``rotsched session`` subcommand: edit scripts through the session."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSessionCommand:
+    def test_pinned_script_name(self, capsys):
+        assert main(["session", "elliptic", "drop-mult", "-r", "3A2M"]) == 0
+        out = capsys.readouterr().out
+        assert "base solve" in out
+        assert "edit 0 (remove_node)" in out
+        assert "repairs 1" in out
+
+    def test_json_script_file(self, tmp_path, capsys):
+        script = tmp_path / "edits.json"
+        script.write_text(json.dumps([
+            {"edit": "set_resource_counts", "counts": {"adder": 2}},
+            {"edit": "set_exec_time", "node": "c5", "time": 2},
+        ]))
+        assert main(["session", "elliptic", str(script), "-r", "3A2M"]) == 0
+        out = capsys.readouterr().out
+        assert "edit 0 (set_resource_counts)" in out
+        assert "edit 1 (set_exec_time)" in out
+        assert "repairs 2" in out
+
+    def test_wrapped_edits_object_and_compare(self, tmp_path, capsys):
+        script = tmp_path / "edits.json"
+        script.write_text(json.dumps(
+            {"edits": [{"edit": "remove_node", "node": "M7"}]}
+        ))
+        assert main([
+            "session", "elliptic", str(script), "-r", "3A2M", "--compare",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "vs scratch" in out
+        # repair and scratch agree, so no divergence marker is printed
+        assert "scratch length" not in out
+
+    def test_solve_mode_and_render(self, tmp_path, capsys):
+        script = tmp_path / "edits.json"
+        script.write_text(json.dumps([{"edit": "remove_node", "node": "M7"}]))
+        assert main([
+            "session", "elliptic", str(script),
+            "-r", "3A2M", "--mode", "solve", "--render",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "full solves 2" in out
+        assert "CS" in out
+
+    def test_naive_backend(self, tmp_path, capsys):
+        script = tmp_path / "edits.json"
+        script.write_text(json.dumps([{"edit": "set_resource_counts", "counts": {"adder": 1}}]))
+        assert main([
+            "session", "diffeq", str(script), "-r", "2A1M", "--backend", "naive",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "repairs 1" in out

@@ -1,0 +1,154 @@
+"""The versioned-mutation protocol: epochs, edit logs, new edit ops."""
+
+import random
+
+import pytest
+
+from repro import DFG, GraphError, diffeq, elliptic
+from repro.dfg import io
+from repro.dfg.graph import _EDIT_LOG_CAP
+from repro.qa.incremental import random_edit_script
+from repro.qa.runner import config_model
+
+
+def tiny():
+    g = DFG("tiny")
+    g.add_node("a", "add")
+    g.add_node("b", "mul")
+    g.add_edge("a", "b", 0)
+    g.add_edge("b", "a", 1)
+    return g
+
+
+class TestEpoch:
+    def test_fresh_graph_epoch_zero(self):
+        assert DFG("x").epoch == 0
+
+    def test_every_mutation_bumps_epoch(self):
+        g = tiny()
+        e0 = g.epoch
+        g.add_node("c", "add")
+        assert g.epoch == e0 + 1
+        e = g.add_edge("b", "c", 2)
+        assert g.epoch == e0 + 2
+        g.set_delay(e, 3)
+        assert g.epoch == e0 + 3
+        g.set_exec_time("c", 2)
+        assert g.epoch == e0 + 4
+        g.remove_edge(e)
+        assert g.epoch == e0 + 5
+        g.remove_node("c")
+        assert g.epoch == e0 + 6
+
+    def test_noop_setters_do_not_bump(self):
+        g = tiny()
+        e = g.edges[1]
+        e0 = g.epoch
+        g.set_delay(e, e.delay)
+        g.set_exec_time("a", None)
+        assert g.epoch == e0
+
+    def test_copy_is_independent(self):
+        g = tiny()
+        c = g.copy()
+        g.add_node("z", "add")
+        assert c.epoch != g.epoch or "z" not in c
+
+
+class TestEditLog:
+    def test_edits_since_current_is_empty(self):
+        g = tiny()
+        assert g.edits_since(g.epoch) == []
+
+    def test_edits_since_replays_in_order(self):
+        g = tiny()
+        base = g.epoch
+        g.add_node("c", "mul")
+        e = g.add_edge("a", "c", 1)
+        g.set_delay(e, 2)
+        edits = g.edits_since(base)
+        assert [ed.kind for ed in edits] == ["add_node", "add_edge", "set_delay"]
+        assert edits[0].node == "c"
+        assert edits[1].src == "a" and edits[1].dst == "c" and edits[1].delay == 1
+        assert edits[2].eid == e.eid and edits[2].delay == 2
+
+    def test_remove_node_logs_incident_edges_first(self):
+        g = tiny()
+        base = g.epoch
+        g.remove_node("b")
+        kinds = [ed.kind for ed in g.edits_since(base)]
+        assert kinds == ["remove_edge", "remove_edge", "remove_node"]
+
+    def test_future_epoch_returns_none(self):
+        g = tiny()
+        assert g.edits_since(g.epoch + 1) is None
+
+    def test_truncated_log_returns_none(self):
+        g = tiny()
+        base = g.epoch
+        e = g.edges[1]
+        for i in range(_EDIT_LOG_CAP + 10):
+            g.set_delay(e, 1 + (i % 2))
+        assert g.edits_since(base) is None
+        # recent tail still replayable
+        recent = g.epoch - 5
+        assert len(g.edits_since(recent)) == 5
+
+
+class TestSetDelay:
+    def test_set_delay_preserves_edge_identity_and_order(self):
+        g = tiny()
+        before = [e.eid for e in g.edges]
+        e = g.edges[0]
+        new = g.set_delay(e, 4)
+        assert new.eid == e.eid
+        assert [x.eid for x in g.edges] == before
+        assert g.edge_by_id(e.eid).delay == 4
+
+    def test_set_delay_rejects_negative(self):
+        g = tiny()
+        with pytest.raises(GraphError):
+            g.set_delay(g.edges[0], -1)
+
+    def test_set_delay_drops_stale_edge_init(self):
+        g = tiny()
+        e = g.edges[1]  # delay 1
+        g.set_edge_init(e, (0,))
+        new = g.set_delay(e, 2)
+        assert g.edge_init(new) is None
+
+    def test_set_exec_time_roundtrip(self):
+        g = tiny()
+        g.set_exec_time("a", 3)
+        assert g.explicit_time("a") == 3
+        g.set_exec_time("a", None)
+        assert g.explicit_time("a") is None
+        with pytest.raises(GraphError):
+            g.set_exec_time("a", 0)
+
+
+class TestEditedGraphsRoundTrip:
+    """Edited graphs survive the io v2 JSON round-trip exactly."""
+
+    @pytest.mark.parametrize("bench,config,seed", [
+        (diffeq, "1A1M", 7),
+        (elliptic, "2A1M", 11),
+    ])
+    def test_random_edit_scripts_roundtrip(self, bench, config, seed):
+        g = bench()
+        model = config_model(config)
+        script = random_edit_script(g, model, random.Random(seed), steps=6)
+        from repro.core.session import open_session
+        s = open_session(g, model)
+        for op in script:
+            s.apply_edit(op)
+        edited = s.graph
+        back = io.from_json_dict(io.to_json_dict(edited))
+        assert io.to_json_dict(back) == io.to_json_dict(edited)
+        assert back.nodes == edited.nodes
+        assert [
+            (e.src, e.dst, e.delay) for e in back.edges
+        ] == [(e.src, e.dst, e.delay) for e in edited.edges]
+        assert all(
+            back.explicit_time(v) == edited.explicit_time(v) for v in edited.nodes
+        )

@@ -5,8 +5,13 @@ import json
 import pytest
 
 from repro.errors import ReproError
-from repro.obs import load_golden_cells, run_perfcheck
-from repro.obs.perfcheck import BASELINE_SPECS
+from repro.obs import load_golden_cells, load_incremental_cells, run_perfcheck
+from repro.obs.perfcheck import (
+    BASELINE_SPECS,
+    INCREMENTAL_BASELINE,
+    MIN_REPAIR_SPEEDUP,
+    _measure_incremental_cell,
+)
 
 
 def _write_baseline(path, cells):
@@ -104,6 +109,53 @@ class TestRunPerfcheck:
         text = report.render()
         assert "diffeq@2A2M/h1/flat" in text
         assert "golden cells" in text
+
+
+class TestIncrementalCells:
+    def test_loads_committed_incremental_baseline(self):
+        cells = load_incremental_cells(INCREMENTAL_BASELINE)
+        assert cells
+        for cell in cells:
+            assert cell.bench == "elliptic"
+            assert cell.edits
+            assert cell.speedup >= MIN_REPAIR_SPEEDUP
+            assert cell.repair_seconds < cell.scratch_seconds
+
+    def test_missing_incremental_baseline_is_skipped(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert report.ok
+        assert INCREMENTAL_BASELINE in report.skipped_baselines
+        assert report.incremental == []
+
+    def test_counter_drift_flags_cell(self):
+        cells = load_incremental_cells(INCREMENTAL_BASELINE)
+        import dataclasses
+
+        bad = dataclasses.replace(cells[0], length=cells[0].length + 1)
+        result = _measure_incremental_cell(bad, repeats=1, tolerance=10.0)
+        assert not result.ok
+        assert any("length" in p for p in result.problems)
+
+    def test_measured_cell_within_envelope(self):
+        cells = load_incremental_cells(INCREMENTAL_BASELINE)
+        result = _measure_incremental_cell(cells[0], repeats=2, tolerance=2.0)
+        assert result.ok, result.problems
+        assert result.speedup >= MIN_REPAIR_SPEEDUP
+
+    def test_report_summary_mentions_incremental(self):
+        report = run_perfcheck(
+            root=".",
+            baselines=(),
+            repeats=1,
+            tolerance=2.0,
+        )
+        assert "incremental" in report.summary()
+        assert len(report.incremental) == 3
 
 
 class TestCommittedEnvelopes:

@@ -393,6 +393,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         max_cells=args.max_cells,
         out_dir=args.out,
         jobs=args.jobs,
+        batched=args.batched,
     )
     print(report.summary())
     for failure in report.failures:
@@ -504,7 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
             "--backend",
             choices=sorted(BACKENDS),
             default=None,
-            help="scheduling core: flat (integer kernels, default), views "
+            help="scheduling core: flat (integer kernels, default), vector "
+            "(numpy kernels + rotation memos; needs numpy), views "
             "(dict engine), naive (recompute everything); all bit-identical",
         )
         p.add_argument(
@@ -642,7 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--smoke",
         action="store_true",
-        help="pre-merge tier: flat cells only, 2 repeats, tolerance floored at 50%%",
+        help="pre-merge tier: flat+vector cells only, 2 repeats, tolerance floored at 50%%",
     )
     p.set_defaults(func=cmd_perfcheck)
 
@@ -670,6 +672,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="certify cells across N worker processes (same verdict, "
         "deterministic case-ordered reporting)",
+    )
+    p.add_argument(
+        "--batched",
+        action="store_true",
+        help="collapse vector-solving cells into per-config solve_batch "
+        "cohorts up front (same verdicts; implies sequential execution)",
     )
     p.set_defaults(func=cmd_fuzz)
 

@@ -57,18 +57,22 @@ _INCREMENTAL_PRIORITIES = {"descendants", "height", "combined"}
 _STRUCTURAL_PRIORITIES = {"descendants", "height", "combined", "mobility"}
 
 #: Selectable acceleration backends, fastest first.  ``flat`` = integer
-#: kernels over CSR snapshots (repro.core.flat), ``views`` = the dict-based
-#: incremental engine below, ``naive`` = recompute everything (no engine).
-BACKENDS = ("flat", "views", "naive")
+#: kernels over CSR snapshots (repro.core.flat), ``vector`` = numpy kernels
+#: + rotation transition memos (repro.core.vector; needs numpy), ``views`` =
+#: the dict-based incremental engine below, ``naive`` = recompute everything
+#: (no engine).  ``flat`` stays the default: it has no third-party imports.
+BACKENDS = ("flat", "vector", "views", "naive")
 
 
 def make_engine(backend, graph, model, priority="descendants", max_views: int = 4096):
     """Resolve a backend name to an engine instance (or ``False`` for naive).
 
-    ``None`` selects the default (``flat``).  The flat backend requires a
-    named structural priority — callable priorities fall back to the dict
-    engine, which routes them through :func:`get_priority` unchanged.  All
-    three backends are pinned bit-identical by the golden parity suite.
+    ``None`` selects the default (``flat``).  The flat and vector backends
+    require a named structural priority — callable priorities fall back to
+    the dict engine, which routes them through :func:`get_priority`
+    unchanged.  ``vector`` raises :class:`~repro.errors.ReproError` with an
+    install hint when numpy is missing; the other backends never touch it.
+    All four backends are pinned bit-identical by the golden parity suite.
     """
     if backend is None:
         backend = "flat"
@@ -80,6 +84,15 @@ def make_engine(backend, graph, model, priority="descendants", max_views: int = 
         from repro.core.flat.engine import FlatEngine
 
         return FlatEngine(graph, model, priority, max_views)
+    if backend == "vector":
+        if priority in _STRUCTURAL_PRIORITIES:
+            from repro.core.vector._compat import require_numpy
+
+            require_numpy()  # clear ReproError (install hint) before importing
+            from repro.core.vector.engine import VectorEngine
+
+            return VectorEngine(graph, model, priority, max_views)
+        # Callable priorities take the same dict-engine fallback as flat.
     return RotationEngine(graph, model, priority, max_views)
 
 

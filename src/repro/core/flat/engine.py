@@ -81,7 +81,14 @@ class FlatEngine:
 
     backend_name = "flat"
 
-    def __init__(self, graph: DFG, model: ResourceModel, priority="descendants", max_views: int = 4096):
+    def __init__(
+        self,
+        graph: DFG,
+        model: ResourceModel,
+        priority="descendants",
+        max_views: int = 4096,
+        precompiled=None,
+    ):
         if priority not in _STRUCTURAL_PRIORITIES:
             raise ValueError(
                 f"flat backend supports priorities {sorted(_STRUCTURAL_PRIORITIES)}, "
@@ -92,8 +99,13 @@ class FlatEngine:
         self.priority = priority
         self.max_views = max_views
         self._stats = EngineStats()
-        self.fg = FlatGraph(graph)
-        self.fm = FlatModel(self.fg, model)
+        if precompiled is not None:
+            # Batched solving compiles whole cohorts in one pass and hands
+            # each engine its (FlatGraph, FlatModel) pair ready-made.
+            self.fg, self.fm = precompiled
+        else:
+            self.fg = FlatGraph(graph)
+            self.fm = FlatModel(self.fg, model)
         # Graph epoch the snapshot was compiled/patched at; apply_delta
         # resynchronizes it after in-place mutation (session path).
         self._epoch = graph.epoch

@@ -404,23 +404,38 @@ def flat_list_schedule(
     # The probe loop below is grid.place() inlined: at ~20 probes per call
     # this is the hottest loop in the whole scheduler, and the attribute
     # and call overhead of the method dominates its own body.
+    #
+    # Ready nodes are split by arrival: ``heap`` holds ``(est, v)`` for
+    # nodes whose earliest start is still ahead, ``avail`` the arrived
+    # ones in skey order.  Resource-blocked nodes survive in ``avail``
+    # already sorted, so a control step only pays a sort when new nodes
+    # arrive — and every skey ends in the node index, so the order is
+    # total and identical to re-sorting the full candidate list.
     busy_all = grid._busy
     node_unit = fm.node_unit
     node_offsets = fm.node_offsets
     unit_count = fm.unit_count
+    skey_get = skey.__getitem__
+    heap = [(est[v], v) for v in ready]
+    heapq.heapify(heap)
+    heappop, heappush = heapq.heappop, heapq.heappush
+    avail: List[int] = []
     while unplaced:
         placed_any = False
-        candidates = [v for v in ready if est[v] <= cs]
-        if not candidates and ready:
-            # Nothing can place before the earliest ready EST, and
-            # resources only constrain steps where a placement is tried —
-            # jumping over the empty control steps is outcome-identical.
-            cs = min(est[v] for v in ready)
-            candidates = [v for v in ready if est[v] <= cs]
-        if candidates:
-            candidates.sort(key=skey.__getitem__)
+        if heap:
+            if not avail and heap[0][0] > cs:
+                # Nothing can place before the earliest ready EST, and
+                # resources only constrain steps where a placement is
+                # tried — jumping the empty steps is outcome-identical.
+                cs = heap[0][0]
+            if heap[0][0] <= cs:
+                while heap and heap[0][0] <= cs:
+                    avail.append(heappop(heap)[1])
+                avail.sort(key=skey_get)
+        if avail:
             base = cs - grid._offset
-            for v in candidates:
+            keep = 0
+            for v in avail:
                 uid = node_unit[v]
                 busy = busy_all[uid]
                 offs = node_offsets[v]
@@ -432,6 +447,8 @@ def flat_list_schedule(
                         mask |= m
                 inst = (~mask & (mask + 1)).bit_length() - 1
                 if inst >= unit_count[uid]:
+                    avail[keep] = v
+                    keep += 1
                     continue
                 bit = 1 << inst
                 for off in offs:
@@ -439,7 +456,6 @@ def flat_list_schedule(
                     busy[key] = (get(key) or 0) | bit
                 start[v] = cs
                 units[v] = inst
-                ready.discard(v)
                 unplaced.discard(v)
                 placed_any = True
                 for w in zsucc[v]:
@@ -447,13 +463,14 @@ def flat_list_schedule(
                         p = pending[w] - 1
                         pending[w] = p
                         if p == 0:
-                            ready.add(w)
                             e = floor_cs
                             for u in zpred[w]:
                                 f = start[u] + lat[u]
                                 if f > e:
                                     e = f
                             est[w] = e
+                            heappush(heap, (e, w))
+            del avail[keep:]
         cs += 1
         guard += 1
         if guard > max_guard and not placed_any:

@@ -90,9 +90,10 @@ class RotationScheduler:
             ``backend`` is the richer switch.
         workers: process-pool size for heuristic 1's independent phases
             (ignored by heuristic 2, whose phases form a chain).
-        backend: ``"flat"`` (integer kernels, default), ``"views"`` (dict
-            engine), or ``"naive"``; ``None`` resolves from ``use_engine``.
-            All three produce bit-identical results.
+        backend: ``"flat"`` (integer kernels, default), ``"vector"``
+            (numpy kernels + rotation memos; requires numpy), ``"views"``
+            (dict engine), or ``"naive"``; ``None`` resolves from
+            ``use_engine``.  All four produce bit-identical results.
     """
 
     def __init__(
@@ -127,8 +128,14 @@ class RotationScheduler:
         self.use_engine = backend != "naive"
         self.workers = workers
 
-    def schedule(self, graph: DFG) -> RotationResult:
-        """Run the configured heuristic and post-process the best schedule."""
+    def schedule(self, graph: DFG, engine=None) -> RotationResult:
+        """Run the configured heuristic and post-process the best schedule.
+
+        ``engine`` optionally injects a prebuilt engine for the configured
+        backend (the batched solver compiles cohorts up front and hands
+        each graph its seeded engine); it must have been built for this
+        exact ``(graph, model, priority)`` triple.  ``None`` builds one.
+        """
         tr = _obs.active
         traced = tr.enabled
         if traced:
@@ -141,7 +148,8 @@ class RotationScheduler:
             )
         try:
             t0 = time.perf_counter()
-            engine = make_engine(self.backend, graph, self.model, self.priority)
+            if engine is None:
+                engine = make_engine(self.backend, graph, self.model, self.priority)
             initial = RotationState.initial(
                 graph, self.model, self.priority, engine=engine
             )
@@ -158,16 +166,26 @@ class RotationScheduler:
             elapsed = time.perf_counter() - t0
 
             # Depth reduction (Section 3.2) on every optimal schedule found;
-            # report the shallowest pipeline (ties: first found).
+            # report the shallowest pipeline (ties: first found).  Engines
+            # may provide realize_wrapped — the same pointwise-minimal
+            # retiming computed on their own flat representation.
+            realize = (
+                getattr(engine, "realize_wrapped", None)
+                if engine is not False
+                else None
+            )
             if traced:
                 tr.begin("depth_reduction", candidates=len(best.entries))
             try:
-                reduced = [
-                    WrappedSchedule(
-                        w.schedule, realizing_retiming(w.schedule, w.period), w.period
-                    )
-                    for _, w in best.entries
-                ]
+                if realize is not None:
+                    reduced = [realize(w) for _, w in best.entries]
+                else:
+                    reduced = [
+                        WrappedSchedule(
+                            w.schedule, realizing_retiming(w.schedule, w.period), w.period
+                        )
+                        for _, w in best.entries
+                    ]
                 final = min(reduced, key=lambda w: w.depth)
             finally:
                 if traced:

@@ -1,0 +1,45 @@
+"""Numpy-vectorized scheduling backend (``backend="vector"``).
+
+Public surface:
+
+* :class:`~repro.core.vector.engine.VectorEngine` — the fourth rotation
+  engine, bit-identical to flat/views/naive on every pinned cell.
+* :class:`~repro.core.vector.batch.BatchedFlatGraph` /
+  :func:`~repro.core.vector.batch.solve_batch` — struct-of-arrays batched
+  solving with cohort deduplication.
+* :func:`~repro.core.vector._compat.have_numpy` — availability probe; the
+  backend degrades to a clear :class:`~repro.errors.ReproError` when numpy
+  is missing while the scalar backends keep working.
+
+Attribute access is lazy (PEP 562): importing ``repro.core.vector`` never
+pulls numpy, so probing ``have_numpy`` is always safe.
+"""
+
+from __future__ import annotations
+
+from repro.core.vector._compat import have_numpy, require_numpy
+
+__all__ = [
+    "BatchedFlatGraph",
+    "VectorEngine",
+    "graph_signature",
+    "have_numpy",
+    "require_numpy",
+    "solve_batch",
+]
+
+_LAZY = {
+    "VectorEngine": "repro.core.vector.engine",
+    "BatchedFlatGraph": "repro.core.vector.batch",
+    "solve_batch": "repro.core.vector.batch",
+    "graph_signature": "repro.core.vector.batch",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,42 @@
+"""Guarded numpy import for the vector backend.
+
+``numpy`` is a declared dependency, but the three scalar backends
+(flat / views / naive) must keep working on installs that lack it —
+only ``backend=vector`` actually needs arrays.  Everything inside
+:mod:`repro.core.vector` that touches numpy goes through this module:
+``np`` is either the real package or ``None``, and :func:`require_numpy`
+turns the latter into a :class:`~repro.errors.ReproError` with an
+install hint at the moment a vector feature is actually requested.
+
+Tests fake a missing install by monkeypatching ``np`` to ``None`` here;
+:data:`NUMPY_ERROR` keeps the real import error around for the message.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+try:  # pragma: no cover - exercised via the fake-missing-import test
+    import numpy as np
+
+    NUMPY_ERROR: Exception | None = None
+except ImportError as exc:  # pragma: no cover - environment-dependent
+    np = None  # type: ignore[assignment]
+    NUMPY_ERROR = exc
+
+
+def have_numpy() -> bool:
+    """Whether the vector backend can run in this interpreter."""
+    return np is not None
+
+
+def require_numpy():
+    """Return the numpy module, or raise a clear install-hint error."""
+    if np is None:
+        detail = f" ({NUMPY_ERROR})" if NUMPY_ERROR is not None else ""
+        raise ReproError(
+            "backend='vector' needs numpy, which is not importable in this "
+            f"environment{detail} — install it with `pip install numpy>=1.24` "
+            "or use backend='flat' (same results, scalar kernels)"
+        )
+    return np

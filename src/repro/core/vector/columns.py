@@ -1,0 +1,52 @@
+"""Numpy copies of the flat CSR columns (plus flattened occupancy rows).
+
+:class:`VectorColumns` re-materializes the integer columns of one
+``(FlatGraph, FlatModel)`` pair as ``int64`` numpy arrays.  The values are
+*copied*, never aliased: ``np.frombuffer`` views over the live
+``array('q')`` columns would pin their buffers and make
+``FlatGraph.apply_delta``'s in-place appends raise ``BufferError``, so a
+snapshot costs one copy and the engine rebuilds it after a delta (the
+compile is O(V+E) and a solve dwarfs it).
+
+On top of the straight copies it flattens the per-node busy-offset tuples
+into three parallel rows (``occ_node`` / ``occ_off`` / ``occ_uid``) so the
+wrap-period kernel can bucket every occupied slot of a candidate period
+with one ``bincount`` instead of a per-node Python loop.
+"""
+
+from __future__ import annotations
+
+from repro.core.vector._compat import require_numpy
+
+
+class VectorColumns:
+    """``int64`` array mirror of a compiled ``(FlatGraph, FlatModel)``."""
+
+    __slots__ = (
+        "n", "m", "esrc", "edst", "edelay",
+        "node_time", "node_latency", "node_unit", "caps", "nunits",
+        "occ_node", "occ_off", "occ_uid", "min_occ",
+    )
+
+    def __init__(self, fg, fm):
+        np = require_numpy()
+        self.n = fg.n
+        self.m = fg.m
+        self.esrc = np.array(fg.esrc, dtype=np.int64)
+        self.edst = np.array(fg.edst, dtype=np.int64)
+        self.edelay = np.array(fg.edelay, dtype=np.int64)
+        self.node_time = np.array(fm.node_time, dtype=np.int64)
+        self.node_latency = np.array(fm.node_latency, dtype=np.int64)
+        self.node_unit = np.array(fm.node_unit, dtype=np.int64)
+        self.caps = np.array(fm.unit_count, dtype=np.int64)
+        self.nunits = len(fm.unit_count)
+        occ_node = []
+        occ_off = []
+        for v in range(fg.n):
+            for off in fm.node_offsets[v]:
+                occ_node.append(v)
+                occ_off.append(off)
+        self.occ_node = np.array(occ_node, dtype=np.int64)
+        self.occ_off = np.array(occ_off, dtype=np.int64)
+        self.occ_uid = self.node_unit[self.occ_node] if occ_node else self.node_unit[:0]
+        self.min_occ = fm.min_occ

@@ -1,0 +1,301 @@
+"""Numpy kernels over :class:`~repro.core.vector.columns.VectorColumns`.
+
+Array re-implementations of the five flat hot paths — retimed delays,
+zero-delay DAG extraction, topological layering, priority columns, and
+the wrap-period search — each *value-identical* to its scalar
+counterpart in :mod:`repro.core.flat.kernels`:
+
+========================    ==================================================
+:func:`vec_retimed_delays`  :func:`repro.core.flat.kernels.retimed_delays`
+:func:`vec_zero_edges` /
+:func:`vec_zero_delay_lists`  :func:`~repro.core.flat.kernels.zero_delay_lists`
+:func:`vec_topo_layers`     :func:`~repro.core.flat.kernels.flat_topological_order`
+                            (layers instead of a FIFO order — see below)
+:func:`vec_priority_columns`  :func:`~repro.core.flat.kernels.flat_priority_columns`
+:func:`vec_wrap_period`     :func:`~repro.core.flat.kernels.flat_wrap_period`
+========================    ==================================================
+
+One deliberate divergence: the scalar Kahn produces a specific FIFO
+order, the layered Kahn here produces level sets.  Every consumer of an
+order in this library (reach, heights, asap/alap, sort keys) is a
+fixpoint over *any* valid topological order, so the priority columns,
+sort keys and periods still come out bit-identical — the property tests
+in ``tests/core/test_vector.py`` pin exactly that.
+
+List-schedule and latest-fit placement are *not* re-implemented: their
+inner loop is data-dependent and sequential (each placement changes the
+occupancy the next probe reads), so the vector engine reuses the scalar
+``flat_list_schedule`` / ``flat_latest_fit`` and instead memoizes whole
+rotation outcomes (see :mod:`repro.core.vector.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.core.vector._compat import require_numpy
+
+
+# ----------------------------------------------------------------------
+# kernel 1: retimed edge delays
+# ----------------------------------------------------------------------
+def vec_retimed_delays(vc, rv_arr):
+    """``dr`` per edge position: one gather-add over the edge columns."""
+    return vc.edelay + rv_arr[vc.esrc] - rv_arr[vc.edst]
+
+
+# ----------------------------------------------------------------------
+# kernel 2: zero-delay DAG extraction + topological layers
+# ----------------------------------------------------------------------
+def vec_zero_edges(vc, dr_arr):
+    """Deduped ``(src, dst)`` arrays of the zero-delay edges, edge order.
+
+    Multi-edges collapse to their first occurrence — the same pair set,
+    in the same order, that ``zero_delay_lists`` keeps.
+    """
+    np = require_numpy()
+    mask = dr_arr == 0
+    zs = vc.esrc[mask]
+    zd = vc.edst[mask]
+    if zs.size > 1:
+        pair = zs * vc.n + zd
+        _, first = np.unique(pair, return_index=True)
+        if first.size != zs.size:
+            keep = np.sort(first)
+            zs = zs[keep]
+            zd = zd[keep]
+    return zs, zd
+
+
+def vec_zero_delay_lists(n, zs, zd) -> Tuple[List[List[int]], List[List[int]]]:
+    """``(zsucc, zpred)`` Python index lists from the deduped edge arrays.
+
+    Bit-identical to :func:`~repro.core.flat.kernels.zero_delay_lists`:
+    a stable sort by endpoint preserves edge order within each node, so
+    every per-node list enumerates neighbours exactly as the scalar
+    single-pass build does.  (The output is list-of-lists because the
+    scalar placement kernels consume it directly.)
+    """
+    np = require_numpy()
+    zsucc: List[List[int]] = [[] for _ in range(n)]
+    zpred: List[List[int]] = [[] for _ in range(n)]
+    if zs.size:
+        o = np.argsort(zs, kind="stable")
+        srcs = zs[o].tolist()
+        dsts = zd[o].tolist()
+        for u, w in zip(srcs, dsts):
+            zsucc[u].append(w)
+        o = np.argsort(zd, kind="stable")
+        srcs = zs[o].tolist()
+        dsts = zd[o].tolist()
+        for u, w in zip(srcs, dsts):
+            zpred[w].append(u)
+    return zsucc, zpred
+
+
+def vec_topo_layers(n, src, dst):
+    """Topological *layers* of the deduped zero-delay edge set.
+
+    Returns a list of index arrays — layer 0 holds the nodes with no
+    predecessors, layer k the nodes released when layer k-1 is peeled —
+    or ``None`` on a cycle.  Pass ``(dst, src)`` swapped for reverse
+    layers (longest-path-to-sink levels).  Concatenating the layers
+    yields a valid topological order; it differs from the scalar FIFO
+    Kahn's order, which is fine for every fixpoint consumer here.
+    """
+    np = require_numpy()
+    cnt = np.bincount(src, minlength=n)
+    ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(cnt, out=ptr[1:])
+    order = np.argsort(src, kind="stable")
+    d_sorted = dst[order]
+    indeg = np.bincount(dst, minlength=n)
+    frontier = np.flatnonzero(indeg == 0)
+    layers = []
+    emitted = 0
+    while frontier.size:
+        layers.append(frontier)
+        emitted += frontier.size
+        c = cnt[frontier]
+        total = int(c.sum())
+        if not total:
+            break
+        csum = np.cumsum(c)
+        idx = np.repeat(ptr[frontier] - (csum - c), c) + np.arange(total)
+        targets = d_sorted[idx]
+        indeg -= np.bincount(targets, minlength=n)
+        cand = np.unique(targets)
+        frontier = cand[indeg[cand] == 0]
+    return layers if emitted == n else None
+
+
+# ----------------------------------------------------------------------
+# kernel 3: priority columns (reach / heights / mobility -> sort keys)
+# ----------------------------------------------------------------------
+def _edge_groups(np, layers, level_of, endpoints):
+    """Edges bucketed by the layer of one endpoint: ``(perm, ptr)``.
+
+    ``perm`` permutes the edge arrays so the edges whose ``endpoints``
+    value sits in layer ``l`` occupy ``perm[ptr[l]:ptr[l+1]]``.
+    """
+    elev = level_of[endpoints]
+    perm = np.argsort(elev, kind="stable")
+    cnt = np.bincount(elev, minlength=len(layers))
+    ptr = np.zeros(len(layers) + 1, dtype=np.int64)
+    np.cumsum(cnt, out=ptr[1:])
+    return perm, ptr
+
+
+def _levels(np, n, layers):
+    lev = np.zeros(n, dtype=np.int64)
+    for i, layer in enumerate(layers):
+        lev[layer] = i
+    return lev
+
+
+def vec_reach(n, zs, zd, rlayers) -> List[int]:
+    """Zero-delay descendant sets as Python int bitmasks (bit i = node i).
+
+    A dense ``n x ceil(n/64)`` uint64 bit-matrix propagated sinks-up by
+    reverse layers; rows convert losslessly to the arbitrary-precision
+    masks :func:`~repro.core.flat.kernels.flat_reach` produces.
+    """
+    np = require_numpy()
+    nw = (n + 63) >> 6 or 1
+    reach = np.zeros((n, nw), dtype=np.uint64)
+    idx = np.arange(n)
+    bits = np.zeros((n, nw), dtype=np.uint64)
+    bits[idx, idx >> 6] = np.uint64(1) << (idx & 63).astype(np.uint64)
+    rlevel = _levels(np, n, rlayers)
+    perm, ptr = _edge_groups(np, rlayers, rlevel, zs)
+    for l in range(1, len(rlayers)):
+        sel = perm[ptr[l]:ptr[l + 1]]
+        if sel.size:
+            np.bitwise_or.at(reach, zs[sel], reach[zd[sel]] | bits[zd[sel]])
+    return [int.from_bytes(row.tobytes(), "little") for row in reach]
+
+
+def _popcounts(np, masks: Sequence[int]) -> List[int]:
+    return [m.bit_count() for m in masks]
+
+
+def vec_heights(times, n, zs, zd, rlayers) -> List[int]:
+    """Longest zero-delay path (inclusive of own time), sinks-up layers."""
+    np = require_numpy()
+    h = np.zeros(n, dtype=np.int64)
+    rlevel = _levels(np, n, rlayers)
+    perm, ptr = _edge_groups(np, rlayers, rlevel, zs)
+    h[rlayers[0]] = times[rlayers[0]]
+    for l in range(1, len(rlayers)):
+        sel = perm[ptr[l]:ptr[l + 1]]
+        if sel.size:
+            np.maximum.at(h, zs[sel], h[zd[sel]])
+        layer = rlayers[l]
+        h[layer] += times[layer]
+    return h.tolist()
+
+
+def vec_mobility(times, n, zs, zd, rlayers, flayers) -> List[int]:
+    """``asap - alap`` per node, propagated by forward + reverse layers."""
+    np = require_numpy()
+    asap = np.zeros(n, dtype=np.int64)
+    flevel = _levels(np, n, flayers)
+    fperm, fptr = _edge_groups(np, flayers, flevel, zd)
+    for l in range(1, len(flayers)):
+        sel = fperm[fptr[l]:fptr[l + 1]]
+        if sel.size:
+            np.maximum.at(asap, zd[sel], asap[zs[sel]] + times[zs[sel]])
+    deadline = int((asap + times).max()) if n else 0
+    alap = deadline - times
+    rlevel = _levels(np, n, rlayers)
+    rperm, rptr = _edge_groups(np, rlayers, rlevel, zs)
+    for l in range(1, len(rlayers)):
+        sel = rperm[rptr[l]:rptr[l + 1]]
+        if sel.size:
+            np.minimum.at(alap, zs[sel], alap[zd[sel]] - times[zs[sel]])
+    return (asap - alap).tolist()
+
+
+def vec_priority_columns(priority: str, times, n, zs, zd):
+    """``(reach, heights, skey)`` for a named priority — or ``None`` on a
+    zero-delay cycle.  Value-identical to
+    :func:`~repro.core.flat.kernels.flat_priority_columns` (same masks,
+    same heights, same flattened sort-key tuples)."""
+    rlayers = vec_topo_layers(n, zd, zs)
+    if rlayers is None:
+        return None
+    if priority == "descendants":
+        reach = vec_reach(n, zs, zd, rlayers)
+        skey = [(-c, v) for v, c in enumerate(_popcounts(None, reach))]
+        return reach, None, skey
+    if priority == "height":
+        heights = vec_heights(times, n, zs, zd, rlayers)
+        return None, heights, [(-h, v) for v, h in enumerate(heights)]
+    if priority == "combined":
+        reach = vec_reach(n, zs, zd, rlayers)
+        heights = vec_heights(times, n, zs, zd, rlayers)
+        pops = _popcounts(None, reach)
+        return reach, heights, [
+            (-heights[v], -pops[v], v) for v in range(n)
+        ]
+    if priority == "mobility":
+        flayers = vec_topo_layers(n, zs, zd)
+        assert flayers is not None  # reverse peel already proved acyclicity
+        mob = vec_mobility(times, n, zs, zd, rlayers, flayers)
+        return None, None, [(-m, v) for v, m in enumerate(mob)]
+    raise ValueError(f"no vector sort keys for priority {priority!r}")
+
+
+# ----------------------------------------------------------------------
+# kernel 5: the wrap() period search
+# ----------------------------------------------------------------------
+def vec_wrap_period(vc, starts, dr, extras=None) -> int:
+    """Minimum modulo-legal period of a *normalized* start vector.
+
+    Identical search to :func:`~repro.core.flat.kernels.flat_wrap_period`
+    — the precedence system collapses to one feasible interval via
+    vectorized ceil/floor divisions, and each candidate period is checked
+    by bucketing every occupied slot with one ``bincount`` against the
+    per-unit instance caps.
+    """
+    np = require_numpy()
+    n = vc.n
+    fin = starts + vc.node_latency
+    span = int(fin.max()) if n else 0
+    lo = int(starts.max()) + 1 if n else 0
+    if vc.min_occ > lo:
+        lo = vc.min_occ
+    if lo < 1:
+        lo = 1
+    hi = span
+    if vc.m:
+        gap = fin[vc.esrc] - starts[vc.edst]
+        pos = dr > 0
+        if pos.any():
+            need = int((-((-gap[pos]) // dr[pos])).max())
+            if need > lo:
+                lo = need
+        neg = dr < 0
+        if neg.any():
+            cap_p = int((gap[neg] // dr[neg]).min())
+            if cap_p < hi:
+                hi = cap_p
+        if bool(((dr == 0) & (gap > 0)).any()):  # pragma: no cover - illegal input
+            hi = lo - 1
+            if extras is not None:
+                extras["wrap_interval_collapses"] = (
+                    extras.get("wrap_interval_collapses", 0) + 1
+                )
+    occ_uid, caps = vc.occ_uid, vc.caps
+    occ_s = starts[vc.occ_node] + vc.occ_off
+    nunits = vc.nunits
+    for period in range(lo, hi + 1):
+        key = occ_uid * period + occ_s % period
+        counts = np.bincount(key, minlength=nunits * period)
+        if bool((counts.reshape(nunits, period) <= caps[:, None]).all()):
+            return period
+    raise SchedulingError(
+        f"schedule of span {span} is not modulo-legal at its own span — "
+        "the input was not a legal DAG schedule of G_R"
+    )  # pragma: no cover - impossible for legal inputs

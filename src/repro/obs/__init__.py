@@ -18,11 +18,14 @@ Four pieces, all stdlib-only:
 from repro.obs.export import Trace, TraceError, parse_trace, read_trace, validate_trace, write_trace
 from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, engine_metrics, render_metrics
 from repro.obs.perfcheck import (
+    BatchCell,
     GoldenCell,
     IncrementalCell,
     PerfReport,
+    VectorHeadlineCell,
     load_golden_cells,
     load_incremental_cells,
+    load_vector_cells,
     run_perfcheck,
 )
 from repro.obs.profile import Profile, ProfileRow, aggregate, profile_of, render_profile
@@ -42,9 +45,11 @@ __all__ = [
     "NULL",
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
+    "BatchCell",
     "GoldenCell",
     "IncrementalCell",
     "MetricsRegistry",
+    "VectorHeadlineCell",
     "NullTracer",
     "PerfReport",
     "Profile",
@@ -60,6 +65,7 @@ __all__ = [
     "engine_metrics",
     "load_golden_cells",
     "load_incremental_cells",
+    "load_vector_cells",
     "parse_trace",
     "profile_of",
     "read_trace",

@@ -42,6 +42,7 @@ _PINNED_COUNTERS = ("view_derives", "grid_delta_rotations", "grid_reseeds")
 BASELINE_SPECS: Tuple[Tuple[str, str, str], ...] = (
     ("BENCH_flat.json", "flat", "flat_seconds"),
     ("BENCH_engine.json", "views", "views_seconds"),
+    ("BENCH_vector.json", "vector", "vector_seconds"),
 )
 
 #: Committed envelope for session repair vs from-scratch solve
@@ -51,6 +52,22 @@ INCREMENTAL_BASELINE = "BENCH_incremental.json"
 #: Session repair must stay at least this many times faster than a
 #: from-scratch solve on every pinned single-edit script.
 MIN_REPAIR_SPEEDUP = 3.0
+
+#: Committed vector-backend envelope, including the batched cohort cell
+#: (written by ``benchmarks/bench_vector_kernels.py``).
+VECTOR_BASELINE = "BENCH_vector.json"
+
+#: The vector backend must stay at least this many times faster than the
+#: flat backend on its single-solve headline cell (h2, elliptic @ 3A2M).
+MIN_VECTOR_SPEEDUP = 3.0
+
+#: ``solve_batch`` over the fuzz ``--smoke`` grid must stay at least this
+#: many times faster than solving the same requests sequentially with
+#: the flat backend.  Both speedup floors are divided by the run's
+#: ``1 + tolerance`` before gating — the margin over the floor is small
+#: enough that CI clock noise would otherwise flake the gate, and the
+#: committed envelope already pins the honestly measured ratio.
+MIN_BATCH_SPEEDUP = 5.0
 
 
 @dataclass(frozen=True)
@@ -131,6 +148,82 @@ class IncrementalResult:
         return self.scratch_seconds / self.repair_seconds if self.repair_seconds else float("inf")
 
 
+@dataclass(frozen=True)
+class VectorHeadlineCell:
+    """The pinned single-solve vector-vs-flat acceptance cell."""
+
+    source: str
+    bench: str
+    config: str
+    heuristic: str
+    vector_seconds: float
+    flat_seconds: float
+    speedup: float
+    length: int
+    rotations: int
+
+    def label(self) -> str:
+        return f"{self.bench}@{self.config}/{self.heuristic}/vector-vs-flat"
+
+
+@dataclass
+class VectorHeadlineResult:
+    """Outcome of replaying the single-solve vector headline A/B."""
+
+    cell: VectorHeadlineCell
+    vector_seconds: float = 0.0
+    flat_seconds: float = 0.0
+    length: Optional[int] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def speedup(self) -> float:
+        return self.flat_seconds / self.vector_seconds if self.vector_seconds else float("inf")
+
+
+@dataclass(frozen=True)
+class BatchCell:
+    """The pinned batched-cohort acceptance cell (fuzz ``--smoke`` grid)."""
+
+    source: str
+    cohort: str
+    heuristic: str
+    requests: int
+    unique_solves: int
+    flat_seq_seconds: float
+    batched_seconds: float
+    speedup: float
+    length_sum: int
+
+    def label(self) -> str:
+        return f"batch:{self.cohort}/{self.heuristic}"
+
+
+@dataclass
+class BatchResult:
+    """Outcome of replaying the batched cohort against sequential flat."""
+
+    cell: BatchCell
+    flat_seq_seconds: float = 0.0
+    batched_seconds: float = 0.0
+    requests: Optional[int] = None
+    unique_solves: Optional[int] = None
+    length_sum: Optional[int] = None
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def speedup(self) -> float:
+        return self.flat_seq_seconds / self.batched_seconds if self.batched_seconds else float("inf")
+
+
 @dataclass
 class PerfReport:
     """Aggregate perfcheck outcome."""
@@ -141,12 +234,14 @@ class PerfReport:
     elapsed: float = 0.0
     skipped_baselines: List[str] = field(default_factory=list)
     incremental: List[IncrementalResult] = field(default_factory=list)
+    vector: List[Any] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return (
             all(r.ok for r in self.results)
             and all(r.ok for r in self.incremental)
+            and all(r.ok for r in self.vector)
             and bool(self.results)
         )
 
@@ -162,6 +257,12 @@ class PerfReport:
             head += (
                 f"; incremental {len(self.incremental) - ibad}/"
                 f"{len(self.incremental)} repair cells ok"
+            )
+        if self.vector:
+            vbad = sum(1 for r in self.vector if not r.ok)
+            head += (
+                f"; vector {len(self.vector) - vbad}/"
+                f"{len(self.vector)} speedup cells ok"
             )
         if self.skipped_baselines:
             head += f"; missing baselines skipped: {', '.join(self.skipped_baselines)}"
@@ -189,6 +290,22 @@ class PerfReport:
                 f"repair {r.repair_seconds:.4f}s  "
                 f"scratch {r.scratch_seconds:.4f}s  ({r.speedup:.1f}x)"
             )
+            for p in r.problems:
+                lines.append(f"       - {p}")
+        for r in self.vector:
+            status = "ok" if r.ok else "FAIL"
+            if isinstance(r, BatchResult):
+                lines.append(
+                    f"  {status:<4} {r.cell.label():<28} "
+                    f"batched {r.batched_seconds:.4f}s  "
+                    f"flat-seq {r.flat_seq_seconds:.4f}s  ({r.speedup:.1f}x)"
+                )
+            else:
+                lines.append(
+                    f"  {status:<4} {r.cell.label():<28} "
+                    f"vector {r.vector_seconds:.4f}s  "
+                    f"flat {r.flat_seconds:.4f}s  ({r.speedup:.1f}x)"
+                )
             for p in r.problems:
                 lines.append(f"       - {p}")
         return "\n".join(lines)
@@ -257,6 +374,177 @@ def load_incremental_cells(path: str) -> List[IncrementalCell]:
     if not cells:
         raise ReproError(f"no incremental repair cells found in {path}")
     return cells
+
+
+def load_vector_cells(
+    path: str,
+) -> Tuple[Optional[VectorHeadlineCell], Optional[BatchCell]]:
+    """Extract the two acceptance cells from ``BENCH_vector.json``.
+
+    The single-solve cell is the entry marked ``headline: single_solve``
+    (h2 on elliptic @ 3A2M), the cohort cell the ``batched_smoke`` entry;
+    the remaining end-to-end entries are ordinary golden cells and flow
+    through :func:`load_golden_cells` via :data:`BASELINE_SPECS`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    source = os.path.basename(path)
+    headline: Optional[VectorHeadlineCell] = None
+    batch: Optional[BatchCell] = None
+    for entry in data.get("benchmarks", ()):
+        info = entry.get("extra_info") or {}
+        kind = info.get("headline")
+        if kind == "single_solve":
+            headline = VectorHeadlineCell(
+                source=source,
+                bench=info.get("bench", "elliptic"),
+                config=info.get("config", "3A2M"),
+                heuristic=info.get("heuristic", "h2"),
+                vector_seconds=float(info["vector_seconds"]),
+                flat_seconds=float(info["flat_seconds"]),
+                speedup=float(info["speedup"]),
+                length=int(info["length"]),
+                rotations=int(info["rotations"]),
+            )
+        elif kind == "batched_smoke":
+            batch = BatchCell(
+                source=source,
+                cohort=info["cohort"],
+                heuristic=info["heuristic"],
+                requests=int(info["requests"]),
+                unique_solves=int(info["unique_solves"]),
+                flat_seq_seconds=float(info["flat_seq_seconds"]),
+                batched_seconds=float(info["batched_seconds"]),
+                speedup=float(info["speedup"]),
+                length_sum=int(info["length_sum"]),
+            )
+    if headline is None and batch is None:
+        raise ReproError(f"no vector acceptance cells found in {path}")
+    return headline, batch
+
+
+def _measure_vector_headline(
+    cell: VectorHeadlineCell, repeats: int, tolerance: float
+) -> VectorHeadlineResult:
+    """Replay the single-solve A/B: vector vs flat, interleaved min-of-N."""
+    from repro.core.scheduler import rotation_schedule
+    from repro.qa.runner import config_model
+    from repro.suite.registry import get_benchmark
+
+    graph = get_benchmark(cell.bench)
+    model = config_model(cell.config)
+    flat_best = vector_best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.process_time()
+        rotation_schedule(graph, model, heuristic=cell.heuristic, backend="flat")
+        flat_best = min(flat_best, time.process_time() - t0)
+        t0 = time.process_time()
+        out = rotation_schedule(
+            graph, model, heuristic=cell.heuristic, backend="vector"
+        )
+        dt = time.process_time() - t0
+        if dt < vector_best:
+            vector_best = dt
+            result = out
+    vr = VectorHeadlineResult(
+        cell,
+        vector_seconds=vector_best,
+        flat_seconds=flat_best,
+        length=result.length,
+    )
+    if result.length != cell.length:
+        vr.problems.append(
+            f"counter delta: length {result.length} != pinned {cell.length}"
+        )
+    if result.rotations_performed != cell.rotations:
+        vr.problems.append(
+            f"counter delta: rotations {result.rotations_performed} "
+            f"!= pinned {cell.rotations}"
+        )
+    required = MIN_VECTOR_SPEEDUP / (1.0 + tolerance)
+    if vr.speedup < required:
+        vr.problems.append(
+            f"vector speedup {vr.speedup:.2f}x below required "
+            f"{MIN_VECTOR_SPEEDUP:.1f}x/{1.0 + tolerance:.2f} = {required:.2f}x "
+            f"(vector {vector_best:.4f}s, flat {flat_best:.4f}s)"
+        )
+    limit = cell.vector_seconds * (1.0 + tolerance)
+    if vector_best > limit:
+        vr.problems.append(
+            f"wall-time regression: vector {vector_best:.4f}s > "
+            f"{cell.vector_seconds:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+        )
+    return vr
+
+
+def _measure_batch_cell(
+    cell: BatchCell, repeats: int, tolerance: float
+) -> BatchResult:
+    """Replay the batched cohort: ``solve_batch`` per config group vs the
+    same requests solved sequentially with the flat backend, interleaved
+    min-of-N pairs (the committed protocol)."""
+    from repro.core.scheduler import rotation_schedule
+    from repro.core.vector.batch import solve_batch
+    from repro.qa import smoke_cases
+    from repro.qa.runner import batch_groups, config_model
+
+    groups = [
+        (cfg, config_model(cfg), [g for _, g in pairs])
+        for cfg, pairs in batch_groups(smoke_cases())
+    ]
+    flat_best = batched_best = float("inf")
+    outcome = None
+    for _ in range(max(repeats, 1)):
+        t0 = time.process_time()
+        for _cfg, model, gs in groups:
+            for g in gs:
+                rotation_schedule(g, model, heuristic=cell.heuristic, backend="flat")
+        flat_best = min(flat_best, time.process_time() - t0)
+        t0 = time.process_time()
+        results = []
+        unique = 0
+        for _cfg, model, gs in groups:
+            stats: Dict[str, Any] = {}
+            results.extend(
+                solve_batch(gs, model, heuristic=cell.heuristic, stats=stats)
+            )
+            unique += stats["unique"]
+        dt = time.process_time() - t0
+        if dt < batched_best:
+            batched_best = dt
+            outcome = (len(results), unique, sum(r.length for r in results))
+    br = BatchResult(
+        cell,
+        flat_seq_seconds=flat_best,
+        batched_seconds=batched_best,
+        requests=outcome[0],
+        unique_solves=outcome[1],
+        length_sum=outcome[2],
+    )
+    for name, measured, pinned in (
+        ("requests", br.requests, cell.requests),
+        ("unique_solves", br.unique_solves, cell.unique_solves),
+        ("length_sum", br.length_sum, cell.length_sum),
+    ):
+        if measured != pinned:
+            br.problems.append(
+                f"counter delta: {name} {measured} != pinned {pinned}"
+            )
+    required = MIN_BATCH_SPEEDUP / (1.0 + tolerance)
+    if br.speedup < required:
+        br.problems.append(
+            f"batched speedup {br.speedup:.2f}x below required "
+            f"{MIN_BATCH_SPEEDUP:.1f}x/{1.0 + tolerance:.2f} = {required:.2f}x "
+            f"(batched {batched_best:.4f}s, flat-seq {flat_best:.4f}s)"
+        )
+    limit = cell.batched_seconds * (1.0 + tolerance)
+    if batched_best > limit:
+        br.problems.append(
+            f"wall-time regression: batched {batched_best:.4f}s > "
+            f"{cell.batched_seconds:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+        )
+    return br
 
 
 def _measure_incremental_cell(
@@ -378,6 +666,7 @@ def run_perfcheck(
     repeats: int = 3,
     smoke: bool = False,
     incremental_baseline: Optional[str] = INCREMENTAL_BASELINE,
+    vector_baseline: Optional[str] = VECTOR_BASELINE,
 ) -> PerfReport:
     """Re-run every pinned golden cell and compare against its envelope.
 
@@ -387,24 +676,35 @@ def run_perfcheck(
         tolerance: allowed wall-time slack as a fraction of the baseline
             (0.5 == fail past +50%).
         repeats: min-of-N timing runs per cell.
-        smoke: the pre-merge tier — flat cells only, ``min(repeats, 2)``
-            timing runs, and tolerance floored at ±50% so CI noise does
-            not flake the gate.
+        smoke: the pre-merge tier — flat and vector cells only,
+            ``min(repeats, 2)`` timing runs, and tolerance floored at
+            ±50% so CI noise does not flake the gate.
         incremental_baseline: filename of the committed session-repair
             envelope (``None`` disables the incremental tier).  Repair
             cells gate the ``MIN_REPAIR_SPEEDUP`` floor on top of the
             usual counter pins and wall tolerance.
+        vector_baseline: filename of the committed vector-backend
+            envelope (``None`` disables the vector tier).  Its headline
+            cells gate the ``MIN_VECTOR_SPEEDUP`` single-solve floor and
+            the ``MIN_BATCH_SPEEDUP`` cohort floor; all vector cells are
+            skipped (not failed) when numpy is unavailable.
     """
+    from repro.core.vector import have_numpy
+
     t0 = time.perf_counter()
     if smoke:
-        baselines = [spec for spec in baselines if spec[1] == "flat"]
+        baselines = [spec for spec in baselines if spec[1] in ("flat", "vector")]
         repeats = min(repeats, 2)
         tolerance = max(tolerance, 0.5)
     report = PerfReport(tolerance=tolerance, repeats=repeats)
+    numpy_ok = have_numpy()
     for filename, backend, seconds_key in baselines:
         path = os.path.join(root, filename)
         if not os.path.exists(path):
             report.skipped_baselines.append(filename)
+            continue
+        if backend == "vector" and not numpy_ok:
+            report.skipped_baselines.append(f"{filename} (numpy unavailable)")
             continue
         for cell in load_golden_cells(path, backend, seconds_key):
             cr = _measure_cell(cell, repeats)
@@ -425,5 +725,22 @@ def run_perfcheck(
                 report.incremental.append(
                     _measure_incremental_cell(icell, repeats, tolerance)
                 )
+    if vector_baseline is not None:
+        path = os.path.join(root, vector_baseline)
+        if not os.path.exists(path):
+            if vector_baseline not in report.skipped_baselines:
+                report.skipped_baselines.append(vector_baseline)
+        elif not numpy_ok:
+            skip = f"{vector_baseline} (numpy unavailable)"
+            if skip not in report.skipped_baselines:
+                report.skipped_baselines.append(skip)
+        else:
+            headline, batch = load_vector_cells(path)
+            if headline is not None:
+                report.vector.append(
+                    _measure_vector_headline(headline, repeats, tolerance)
+                )
+            if batch is not None:
+                report.vector.append(_measure_batch_cell(batch, repeats, tolerance))
     report.elapsed = time.perf_counter() - t0
     return report

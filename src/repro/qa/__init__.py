@@ -34,11 +34,13 @@ from repro.qa.incremental import (
     random_edit_script,
 )
 from repro.qa.runner import (
+    BATCHED_PATHS,
     DEFAULT_CONFIGS,
     PATHS,
     FailureRecord,
     FuzzCase,
     FuzzReport,
+    batch_groups,
     config_model,
     grid_cases,
     run_cell,
@@ -48,6 +50,7 @@ from repro.qa.runner import (
 )
 
 __all__ = [
+    "BATCHED_PATHS",
     "DEFAULT_CONFIGS",
     "FailureRecord",
     "FuzzCase",
@@ -56,6 +59,7 @@ __all__ = [
     "PATHS",
     "PINNED_EDIT_SCRIPTS",
     "ReproBundle",
+    "batch_groups",
     "certify_rotation",
     "certify_wrapped",
     "check_incremental_session",

@@ -1,19 +1,27 @@
 """Golden parity suite: every acceleration backend must be pure speed.
 
 Every ``(benchmark, resource config, heuristic)`` cell runs the full
-heuristic under all three backends — ``flat`` (integer kernels over CSR
-snapshots), ``views`` (the dict-based incremental engine), and ``naive``
-(recompute everything) — and asserts the outcomes are identical down to
-start maps, retimings and the set of tied-optimal schedules.  Any
-divergence means a backend cache leaked stale state into a decision.
+heuristic under all four backends — ``flat`` (integer kernels over CSR
+snapshots), ``vector`` (numpy kernels + rotation memos), ``views`` (the
+dict-based incremental engine), and ``naive`` (recompute everything) —
+and asserts the outcomes are identical down to start maps, retimings and
+the set of tied-optimal schedules.  Any divergence means a backend cache
+leaked stale state into a decision.
 """
 
 import pytest
 
 from repro.core.engine import BACKENDS
 from repro.core.scheduler import rotation_schedule
+from repro.core.vector import have_numpy
 from repro.schedule.resources import ResourceModel
 from repro.suite import BENCHMARKS
+
+#: backends pinned against naive on every golden cell; vector drops out
+#: (and is covered by its dedicated skip test) when numpy is missing.
+FAST_BACKENDS = tuple(
+    b for b in BACKENDS if b != "naive" and (b != "vector" or have_numpy())
+)
 
 CONFIGS = {
     "2A2M": ResourceModel.adders_mults(2, 2),
@@ -30,11 +38,11 @@ def test_backends_match_naive_path(bench, config, heuristic):
     model = CONFIGS[config]
     results = {
         backend: rotation_schedule(graph, model, heuristic=heuristic, backend=backend)
-        for backend in BACKENDS
+        for backend in FAST_BACKENDS + ("naive",)
     }
     naive = results["naive"]
     assert naive.engine_stats is None
-    for backend in ("flat", "views"):
+    for backend in FAST_BACKENDS:
         fast = results[backend]
         assert fast.length == naive.length, backend
         assert fast.initial_length == naive.initial_length, backend
@@ -57,43 +65,55 @@ def test_trace_parity_on_a_rotation_walk():
 
     graph = BENCHMARKS["lattice"].build()
     model = CONFIGS["2A2M"]
-    flat = RotationState.initial(graph, model)
-    views = RotationState.initial(
-        graph, model, engine=make_engine("views", graph, model)
-    )
     slow = RotationState.initial(graph, model, engine=False)
-    for step in [1, 2, 1, 3, 1, 1, 2, 1]:
-        flat = flat.down_rotate(step)
-        views = views.down_rotate(step)
-        slow = slow.down_rotate(step)
-        assert flat.retiming == views.retiming == slow.retiming
-        assert (
-            flat.schedule.normalized().start_map
-            == views.schedule.normalized().start_map
-            == slow.schedule.normalized().start_map
+    fast = {
+        backend: RotationState.initial(
+            graph, model, engine=make_engine(backend, graph, model)
         )
-        assert flat.trace[-1] == views.trace[-1] == slow.trace[-1]
-        assert flat.wrapped().period == slow.wrapped().period
+        for backend in FAST_BACKENDS
+    }
+    for step in [1, 2, 1, 3, 1, 1, 2, 1]:
+        slow = slow.down_rotate(step)
+        for backend in fast:
+            state = fast[backend] = fast[backend].down_rotate(step)
+            assert state.retiming == slow.retiming, backend
+            assert (
+                state.schedule.normalized().start_map
+                == slow.schedule.normalized().start_map
+            ), backend
+            assert state.trace[-1] == slow.trace[-1], backend
+            assert state.wrapped().period == slow.wrapped().period, backend
 
 
 def test_up_rotation_parity():
-    """The flat engine accelerates up_rotate (latest-fit); pin it against
-    the naive path on a down/up walk."""
+    """The fast engines accelerate up_rotate (latest-fit); pin them
+    against the naive path on a down/up walk."""
+    from repro.core.engine import make_engine
     from repro.core.rotation import RotationState
 
     graph = BENCHMARKS["elliptic"].build()
     model = CONFIGS["3A2M"]
-    fast = RotationState.initial(graph, model)
     slow = RotationState.initial(graph, model, engine=False)
+    fast = {
+        backend: RotationState.initial(
+            graph, model, engine=make_engine(backend, graph, model)
+        )
+        for backend in FAST_BACKENDS
+    }
     for kind, step in [("d", 2), ("d", 1), ("u", 1), ("d", 3), ("u", 2), ("u", 1)]:
         if kind == "d":
-            fast, slow = fast.down_rotate(step), slow.down_rotate(step)
+            slow = slow.down_rotate(step)
         else:
-            fast, slow = fast.up_rotate(step), slow.up_rotate(step)
-        assert fast.retiming == slow.retiming
-        assert (
-            fast.schedule.normalized().start_map
-            == slow.schedule.normalized().start_map
-        )
-        assert fast.trace[-1] == slow.trace[-1]
-        assert fast.wrapped().period == slow.wrapped().period
+            slow = slow.up_rotate(step)
+        for backend in fast:
+            prev = fast[backend]
+            state = fast[backend] = (
+                prev.down_rotate(step) if kind == "d" else prev.up_rotate(step)
+            )
+            assert state.retiming == slow.retiming, backend
+            assert (
+                state.schedule.normalized().start_map
+                == slow.schedule.normalized().start_map
+            ), backend
+            assert state.trace[-1] == slow.trace[-1], backend
+            assert state.wrapped().period == slow.wrapped().period, backend

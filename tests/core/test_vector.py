@@ -1,0 +1,540 @@
+"""Property tests for the numpy scheduling core (``repro.core.vector``).
+
+Each vector kernel is pinned value-identical to its flat integer
+counterpart over seeded random graphs — including tuple-id unfolded
+graphs and multi-edges with distinct delays — plus engine walks that
+exercise the rotation/wrap/initial memos, the lazy schedule/retiming
+objects (pickling and survival across ``apply_delta``), the batched
+struct-of-arrays solver, and the guarded-numpy degradation path.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.flat import (
+    FlatGraph,
+    FlatModel,
+    flat_priority_columns,
+    flat_topological_order,
+    flat_wrap_period,
+    retimed_delays,
+    zero_delay_lists,
+)
+from repro.core.rotation import RotationState
+from repro.core.vector import have_numpy
+from repro.dfg.graph import DFG
+from repro.dfg.retiming import Retiming
+from repro.dfg.unfold import unfold
+from repro.errors import ReproError, ZeroDelayCycleError
+from repro.schedule.list_scheduler import full_schedule
+from repro.schedule.resources import ResourceModel
+from repro.suite.random_graphs import random_dfg, random_dsp_kernel
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy unavailable")
+
+MODEL = ResourceModel.adders_mults(2, 1)
+PRIORITIES = ("descendants", "height", "combined", "mobility")
+
+
+def multi_edge_graph() -> DFG:
+    g = DFG("multi")
+    for name, op in [("a", "add"), ("b", "mul"), ("c", "add")]:
+        g.add_node(name, op)
+    g.add_edge("a", "b", 0)
+    g.add_edge("a", "b", 1)
+    g.add_edge("a", "b", 2)
+    g.add_edge("a", "b", 0)  # duplicate zero-delay pair: dedup must collapse
+    g.add_edge("b", "c", 0)
+    g.add_edge("c", "a", 1)
+    g.add_edge("c", "a", 3)
+    return g
+
+
+def sample_graphs():
+    return [
+        ("random8", random_dfg(8, seed=3)),
+        ("random14", random_dfg(14, seed=11)),
+        ("dsp", random_dsp_kernel(taps=4, seed=5)),
+        ("unfolded", unfold(random_dfg(6, seed=7), 3)),  # tuple node ids
+        ("multi_edge", multi_edge_graph()),
+    ]
+
+
+def legal_retimings(graph, count=4, seed=0):
+    from repro.dfg.analysis import retimed_delay, topological_order
+
+    rng = random.Random(seed)
+    out = [Retiming.zero()]
+    nodes = graph.nodes
+    attempts = 0
+    while len(out) < count + 1 and attempts < 120:
+        attempts += 1
+        r = Retiming({v: rng.randint(0, 1) for v in nodes})
+        if any(retimed_delay(e, r) < 0 for e in graph.edges):
+            continue
+        try:
+            topological_order(graph, r)
+        except ZeroDelayCycleError:
+            continue
+        out.append(r)
+    return out
+
+
+def _columns(graph, model=MODEL):
+    from repro.core.vector.columns import VectorColumns
+
+    fg = FlatGraph(graph)
+    fm = FlatModel(fg, model)
+    return fg, fm, VectorColumns(fg, fm)
+
+
+# ----------------------------------------------------------------------
+# kernels vs their flat counterparts
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vec_retimed_delays_matches_flat(tag, graph):
+    import numpy as np
+
+    from repro.core.vector.kernels import vec_retimed_delays
+
+    fg, _fm, vc = _columns(graph)
+    for r in legal_retimings(graph):
+        rv = np.array(fg.rvec(r), dtype=np.int64)
+        assert vec_retimed_delays(vc, rv).tolist() == retimed_delays(fg, fg.rvec(r))
+
+
+@needs_numpy
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vec_zero_delay_lists_match_flat(tag, graph):
+    import numpy as np
+
+    from repro.core.vector.kernels import (
+        vec_retimed_delays,
+        vec_zero_delay_lists,
+        vec_zero_edges,
+    )
+
+    fg, _fm, vc = _columns(graph)
+    for r in legal_retimings(graph):
+        dr_arr = vec_retimed_delays(vc, np.array(fg.rvec(r), dtype=np.int64))
+        zs, zd = vec_zero_edges(vc, dr_arr)
+        fsucc, fpred = zero_delay_lists(fg, dr_arr.tolist())
+        vsucc, vpred = vec_zero_delay_lists(fg.n, zs, zd)
+        assert vsucc == fsucc
+        assert vpred == fpred
+
+
+@needs_numpy
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vec_topo_layers_are_valid_and_detect_cycles(tag, graph):
+    import numpy as np
+
+    from repro.core.vector.kernels import (
+        vec_retimed_delays,
+        vec_topo_layers,
+        vec_zero_edges,
+    )
+
+    fg, _fm, vc = _columns(graph)
+    for r in legal_retimings(graph):
+        dr_arr = vec_retimed_delays(vc, np.array(fg.rvec(r), dtype=np.int64))
+        zs, zd = vec_zero_edges(vc, dr_arr)
+        layers = vec_topo_layers(fg.n, zs, zd)
+        assert layers is not None
+        level = {}
+        for i, layer in enumerate(layers):
+            for v in layer.tolist():
+                level[v] = i
+        # every node exactly once, every zero-delay edge strictly downward
+        assert sorted(level) == list(range(fg.n))
+        for u, w in zip(zs.tolist(), zd.tolist()):
+            assert level[u] < level[w]
+
+
+@needs_numpy
+def test_vec_topo_layers_cycle_returns_none():
+    import numpy as np
+
+    from repro.core.vector.kernels import vec_topo_layers
+
+    zs = np.array([0, 1], dtype=np.int64)
+    zd = np.array([1, 0], dtype=np.int64)
+    assert vec_topo_layers(2, zs, zd) is None
+
+
+@needs_numpy
+@pytest.mark.parametrize("priority", PRIORITIES)
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vec_priority_columns_match_flat(tag, graph, priority):
+    import numpy as np
+
+    from repro.core.vector.kernels import (
+        vec_priority_columns,
+        vec_retimed_delays,
+        vec_zero_edges,
+    )
+
+    fg, fm, vc = _columns(graph)
+    for r in legal_retimings(graph):
+        dr = retimed_delays(fg, fg.rvec(r))
+        zsucc, _ = zero_delay_lists(fg, dr)
+        order = flat_topological_order(zsucc)
+        f_reach, f_heights, f_skey = flat_priority_columns(
+            priority, fm.node_time, zsucc, order
+        )
+        dr_arr = vec_retimed_delays(vc, np.array(fg.rvec(r), dtype=np.int64))
+        zs, zd = vec_zero_edges(vc, dr_arr)
+        cols = vec_priority_columns(priority, vc.node_time, fg.n, zs, zd)
+        assert cols is not None
+        v_reach, v_heights, v_skey = cols
+        assert v_skey == f_skey
+        if f_reach is not None:
+            assert v_reach == f_reach
+        if f_heights is not None:
+            assert v_heights == f_heights
+
+
+@needs_numpy
+def test_vec_priority_columns_rejects_unknown_priority():
+    import numpy as np
+
+    from repro.core.vector.kernels import vec_priority_columns
+
+    empty = np.zeros(0, dtype=np.int64)
+    with pytest.raises(ValueError, match="no vector sort keys"):
+        vec_priority_columns("zigzag", np.ones(2, dtype=np.int64), 2, empty, empty)
+
+
+@needs_numpy
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vec_wrap_period_matches_flat(tag, graph):
+    import numpy as np
+
+    from repro.core.vector.kernels import vec_retimed_delays, vec_wrap_period
+
+    fg, fm, vc = _columns(graph)
+    for r in legal_retimings(graph, count=2):
+        sched = full_schedule(graph, MODEL, r).normalized()
+        starts = [sched.start(v) for v in fg.nodes]
+        dr = retimed_delays(fg, fg.rvec(r))
+        expected = flat_wrap_period(fg, fm, starts, dr)
+        got = vec_wrap_period(
+            vc,
+            np.array(starts, dtype=np.int64),
+            vec_retimed_delays(vc, np.array(fg.rvec(r), dtype=np.int64)),
+        )
+        assert got == expected
+
+
+# ----------------------------------------------------------------------
+# engine walks: memos, laziness, pickling
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("tag,graph", sample_graphs())
+def test_vector_rotation_walk_matches_naive(tag, graph):
+    from repro.core.engine import make_engine
+
+    fast = RotationState.initial(
+        graph, MODEL, engine=make_engine("vector", graph, MODEL)
+    )
+    slow = RotationState.initial(graph, MODEL, engine=False)
+    rng = random.Random(42)
+    for _ in range(6):
+        if slow.length <= 1:
+            break
+        size = rng.randint(1, min(3, slow.length - 1))
+        fast, slow = fast.down_rotate(size), slow.down_rotate(size)
+        assert fast.retiming == slow.retiming
+        assert (
+            fast.schedule.normalized().start_map
+            == slow.schedule.normalized().start_map
+        )
+        assert fast.wrapped().period == slow.wrapped().period
+
+
+@needs_numpy
+def test_rotation_memo_replays_bit_identically():
+    """Replaying the same transition must be a pure cache hit: identical
+    state, one more rotation_memo_hits, no extra miss."""
+    from repro.core.engine import make_engine
+
+    graph = random_dsp_kernel(taps=4, seed=5)
+    engine = make_engine("vector", graph, MODEL)
+    s0 = RotationState.initial(graph, MODEL, engine=engine)
+    first = s0.down_rotate(2)
+    hits0 = engine.metrics()["extras"]["rotation_memo_hits"]
+    misses0 = engine.metrics()["extras"]["rotation_memo_misses"]
+    again = s0.down_rotate(2)
+    extras = engine.metrics()["extras"]
+    assert extras["rotation_memo_hits"] == hits0 + 1
+    assert extras["rotation_memo_misses"] == misses0
+    assert again.retiming == first.retiming
+    assert again.schedule.normalized().start_map == first.schedule.normalized().start_map
+    assert again.wrapped().period == first.wrapped().period
+
+
+@needs_numpy
+def test_initial_memo_hits_on_reseed():
+    from repro.core.engine import make_engine
+
+    graph = random_dfg(10, seed=2)
+    engine = make_engine("vector", graph, MODEL)
+    a = engine.initial_state()
+    before = engine.metrics()["extras"]["initial_memo_hits"]
+    b = engine.initial_state()
+    assert engine.metrics()["extras"]["initial_memo_hits"] == before + 1
+    assert a.schedule.start_map == b.schedule.start_map
+
+
+@needs_numpy
+def test_lazy_state_pickles_and_materializes():
+    from repro.core.engine import make_engine
+
+    graph = random_dfg(9, seed=4)
+    engine = make_engine("vector", graph, MODEL)
+    state = RotationState.initial(graph, MODEL, engine=engine).down_rotate(1)
+    blob = pickle.loads(pickle.dumps(state))  # engine stripped by __getstate__
+    assert blob.retiming == state.retiming
+    assert blob.schedule.start_map == state.schedule.start_map
+    # A rebound (engine-less) state can keep rotating through a fresh engine.
+    slow = blob.down_rotate(1)
+    fast = state.down_rotate(1)
+    assert slow.retiming == fast.retiming
+    assert (
+        slow.schedule.normalized().start_map
+        == fast.schedule.normalized().start_map
+    )
+
+
+@needs_numpy
+def test_lazy_objects_survive_apply_delta():
+    """Regression: lazy schedules/retimings must materialize against the
+    node order they were minted under, even after ``apply_delta`` has
+    mutated the engine's node list (sessions hold the previous solution
+    across edits — repairs diverged from naive before this was pinned)."""
+    from repro.core.session import open_session
+
+    graph = random_dsp_kernel(taps=3, seed=0, recursive=True)
+    sessions = {
+        b: open_session(graph, MODEL, backend=b) for b in ("vector", "naive")
+    }
+    for s in sessions.values():
+        s.resolve()
+    victim = graph.nodes[len(graph.nodes) // 2]
+    for s in sessions.values():
+        s.apply_edit({"edit": "remove_node", "node": victim})
+    vec = sessions["vector"].resolve()
+    ref = sessions["naive"].resolve()
+    assert vec.length == ref.length
+    assert vec.retiming == ref.retiming
+    assert vec.schedule.start_map == ref.schedule.start_map
+
+
+@needs_numpy
+def test_vector_engine_rejects_callable_priority_eagerly():
+    from repro.core.vector.engine import VectorEngine
+
+    with pytest.raises(ValueError):
+        VectorEngine(random_dfg(6, seed=1), MODEL, priority=lambda g, t, r: {})
+
+
+@needs_numpy
+def test_make_engine_vector_resolution():
+    from repro.core.engine import RotationEngine, make_engine
+    from repro.core.vector.engine import VectorEngine
+
+    graph = random_dfg(6, seed=2)
+    assert isinstance(make_engine("vector", graph, MODEL), VectorEngine)
+    # Callable priorities fall back to the dict engine, like flat.
+    fn = lambda g, t, r: {v: (0,) for v in g.nodes}  # noqa: E731
+    assert isinstance(make_engine("vector", graph, MODEL, priority=fn), RotationEngine)
+
+
+# ----------------------------------------------------------------------
+# batched solving
+# ----------------------------------------------------------------------
+@needs_numpy
+@pytest.mark.parametrize("priority", PRIORITIES)
+def test_solve_batch_matches_per_graph_solves(priority):
+    from repro.core.scheduler import rotation_schedule
+    from repro.core.vector import solve_batch
+
+    graphs = [
+        random_dfg(8, seed=3),
+        random_dsp_kernel(taps=4, seed=5),
+        random_dfg(8, seed=3),  # duplicate of the first
+    ]
+    stats = {}
+    results = solve_batch(graphs, MODEL, priority=priority, stats=stats)
+    assert stats["requests"] == 3
+    assert stats["unique"] == 2
+    assert stats["deduped"] == 1
+    assert stats["seeded_views"] == 2
+    assert results[0] is results[2]  # duplicates share one solved result
+    for g, got in zip(graphs, results):
+        ref = rotation_schedule(g, MODEL, priority=priority, backend="flat")
+        assert got.length == ref.length
+        assert got.retiming == ref.retiming
+        assert got.schedule.start_map == ref.schedule.start_map
+        assert got.optimal_count == ref.optimal_count
+        assert [a.schedule.start_map for a in got.alternates] == [
+            a.schedule.start_map for a in ref.alternates
+        ]
+
+
+@needs_numpy
+def test_batched_initial_pass_seeds_engines():
+    from repro.core.vector.batch import BatchedFlatGraph, graph_signature
+    from repro.core.vector.engine import VectorEngine
+
+    graphs = [random_dfg(8, seed=3), random_dsp_kernel(taps=4, seed=5)]
+    compiled = []
+    for g in graphs:
+        fg = FlatGraph(g)
+        compiled.append((fg, FlatModel(fg, MODEL)))
+    batched = BatchedFlatGraph(compiled)
+    assert batched.n_total == sum(fg.n for fg, _ in compiled)
+    assert batched.m_total == sum(fg.m for fg, _ in compiled)
+    seeds = batched.initial_pass("descendants")
+    assert seeds is not None and len(seeds) == 2
+    for g, pair, seed in zip(graphs, compiled, seeds):
+        seeded = VectorEngine(g, MODEL, precompiled=pair)
+        seeded.seed_struct_view(*seed)
+        cold = VectorEngine(g, MODEL)
+        a = seeded.initial_state()
+        b = cold.initial_state()
+        assert a.schedule.start_map == b.schedule.start_map
+        assert seeded.metrics()["extras"]["batched_seeds"] == 1
+        assert seeded.metrics()["extras"]["struct_view_builds"] == 0
+
+    # distinct graphs, distinct signatures; equal graphs, equal signatures
+    assert graph_signature(graphs[0]) != graph_signature(graphs[1])
+    assert graph_signature(graphs[0]) == graph_signature(random_dfg(8, seed=3))
+
+
+@needs_numpy
+def test_batched_initial_pass_reports_cycles():
+    from repro.core.vector.batch import BatchedFlatGraph
+
+    g = DFG("cycle")
+    g.add_node("a", "add")
+    g.add_node("b", "add")
+    g.add_edge("a", "b", 0)
+    g.add_edge("b", "a", 0)
+    fg = FlatGraph(g)
+    batched = BatchedFlatGraph([(fg, FlatModel(fg, MODEL))])
+    assert batched.initial_pass("descendants") is None
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is an optional dev dep
+    HAVE_HYPOTHESIS = False
+
+
+if HAVE_HYPOTHESIS:
+
+    @needs_numpy
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(3, 9),
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, 8), st.integers(0, 8), st.integers(0, 2)
+            ),
+            min_size=2,
+            max_size=20,
+        ),
+    )
+    def test_vec_structural_kernels_on_arbitrary_graphs(n, edges):
+        """Arbitrary multigraphs (cycles included): the vector kernels and
+        the flat kernels agree edge-for-edge — same dr, same adjacency,
+        same cycle verdict, same sort keys when acyclic."""
+        import numpy as np
+
+        from repro.core.vector.kernels import (
+            vec_priority_columns,
+            vec_retimed_delays,
+            vec_zero_delay_lists,
+            vec_zero_edges,
+        )
+
+        g = DFG("hyp")
+        for i in range(n):
+            g.add_node(f"v{i}", "add" if i % 2 else "mul")
+        for a, b, d in edges:
+            g.add_edge(f"v{a % n}", f"v{b % n}", d)
+        fg, fm, vc = _columns(g)
+        rv = fg.rvec(Retiming.zero())
+        dr = retimed_delays(fg, rv)
+        dr_arr = vec_retimed_delays(vc, np.array(rv, dtype=np.int64))
+        assert dr_arr.tolist() == dr
+        zs, zd = vec_zero_edges(vc, dr_arr)
+        fsucc, fpred = zero_delay_lists(fg, dr)
+        vsucc, vpred = vec_zero_delay_lists(fg.n, zs, zd)
+        assert (vsucc, vpred) == (fsucc, fpred)
+        order = flat_topological_order(fsucc)
+        cols = vec_priority_columns("combined", vc.node_time, fg.n, zs, zd)
+        if order is None:
+            assert cols is None
+        else:
+            assert cols is not None
+            assert cols[2] == flat_priority_columns(
+                "combined", fm.node_time, fsucc, order
+            )[2]
+
+
+# ----------------------------------------------------------------------
+# guarded numpy import
+# ----------------------------------------------------------------------
+class TestMissingNumpy:
+    def test_vector_backend_raises_clear_error(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.core.engine import make_engine
+        from repro.core.scheduler import rotation_schedule
+
+        monkeypatch.setattr(compat, "np", None)
+        monkeypatch.setattr(compat, "NUMPY_ERROR", ImportError("no module named numpy"))
+        assert not have_numpy()
+        graph = random_dfg(6, seed=1)
+        with pytest.raises(ReproError, match="pip install numpy"):
+            make_engine("vector", graph, MODEL)
+        with pytest.raises(ReproError, match="backend='flat'"):
+            rotation_schedule(graph, MODEL, backend="vector")
+
+    def test_scalar_backends_keep_working(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.core.scheduler import rotation_schedule
+
+        monkeypatch.setattr(compat, "np", None)
+        graph = random_dfg(6, seed=1)
+        results = {
+            b: rotation_schedule(graph, MODEL, backend=b)
+            for b in ("flat", "views", "naive")
+        }
+        assert len({r.length for r in results.values()}) == 1
+
+    def test_fuzz_vector_path_skips_clean(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.qa.runner import run_cell_on_graph
+
+        monkeypatch.setattr(compat, "np", None)
+        failures = run_cell_on_graph(random_dfg(6, seed=1), "1A1M", "vector")
+        assert failures == []
+
+    def test_parity_path_still_covers_scalar_backends(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.qa.runner import run_cell_on_graph
+        from repro.suite.random_graphs import build_case_graph
+
+        monkeypatch.setattr(compat, "np", None)
+        # build_case_graph attaches the simulable affine semantics the
+        # parity path's certification oracle executes
+        graph = build_case_graph("random_dfg", {"num_nodes": 6, "seed": 1})
+        failures = run_cell_on_graph(graph, "1A1M", "parity")
+        assert failures == []

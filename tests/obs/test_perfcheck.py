@@ -5,12 +5,21 @@ import json
 import pytest
 
 from repro.errors import ReproError
-from repro.obs import load_golden_cells, load_incremental_cells, run_perfcheck
+from repro.obs import (
+    load_golden_cells,
+    load_incremental_cells,
+    load_vector_cells,
+    run_perfcheck,
+)
 from repro.obs.perfcheck import (
     BASELINE_SPECS,
     INCREMENTAL_BASELINE,
+    MIN_BATCH_SPEEDUP,
     MIN_REPAIR_SPEEDUP,
+    MIN_VECTOR_SPEEDUP,
+    VECTOR_BASELINE,
     _measure_incremental_cell,
+    _measure_vector_headline,
 )
 
 
@@ -158,6 +167,57 @@ class TestIncrementalCells:
         assert len(report.incremental) == 3
 
 
+class TestVectorCells:
+    def test_loads_committed_vector_baseline(self):
+        headline, batch = load_vector_cells(VECTOR_BASELINE)
+        assert headline is not None and batch is not None
+        assert headline.bench == "elliptic" and headline.config == "3A2M"
+        assert headline.speedup >= MIN_VECTOR_SPEEDUP
+        assert batch.cohort == "smoke"
+        assert batch.speedup >= MIN_BATCH_SPEEDUP
+        assert batch.requests == 189
+        assert batch.unique_solves < batch.requests  # dedup must bite
+
+    def test_vector_golden_cells_load_via_baseline_specs(self):
+        cells = load_golden_cells(VECTOR_BASELINE, "vector", "vector_seconds")
+        assert cells
+        for cell in cells:
+            assert cell.backend == "vector"
+            assert cell.baseline_seconds > 0
+
+    def test_no_acceptance_cells_raises(self, tmp_path):
+        path = tmp_path / "v.json"
+        _write_baseline(path, [_diffeq_cell(seconds=30.0)])
+        with pytest.raises(ReproError):
+            load_vector_cells(str(path))
+
+    def test_headline_counter_drift_flags_cell(self):
+        import dataclasses
+
+        headline, _ = load_vector_cells(VECTOR_BASELINE)
+        bad = dataclasses.replace(headline, length=headline.length + 1)
+        result = _measure_vector_headline(bad, repeats=1, tolerance=10.0)
+        assert not result.ok
+        assert any("length" in p for p in result.problems)
+
+    def test_headline_within_envelope(self):
+        headline, _ = load_vector_cells(VECTOR_BASELINE)
+        result = _measure_vector_headline(headline, repeats=2, tolerance=2.0)
+        assert result.ok, result.problems
+        assert result.speedup >= MIN_VECTOR_SPEEDUP / 3.0
+
+    def test_missing_vector_baseline_is_skipped(self, tmp_path):
+        _write_baseline(tmp_path / "b.json", [_diffeq_cell(seconds=30.0)])
+        report = run_perfcheck(
+            root=str(tmp_path),
+            baselines=(("b.json", "flat", "flat_seconds"),),
+            repeats=1,
+        )
+        assert report.ok
+        assert VECTOR_BASELINE in report.skipped_baselines
+        assert report.vector == []
+
+
 class TestCommittedEnvelopes:
     def test_smoke_against_committed_baselines(self):
         """The envelope shipped in-repo must hold on the shipping code.
@@ -168,9 +228,11 @@ class TestCommittedEnvelopes:
         """
         report = run_perfcheck(root=".", smoke=True, tolerance=2.0)
         assert report.ok, report.render()
-        # smoke restricts to the flat backend only
-        assert {r.cell.backend for r in report.results} == {"flat"}
+        # smoke restricts to the flat and vector backends
+        assert {r.cell.backend for r in report.results} == {"flat", "vector"}
+        # and replays both vector acceptance cells
+        assert len(report.vector) == 2
 
-    def test_specs_cover_flat_and_views(self):
+    def test_specs_cover_all_fast_backends(self):
         backends = {backend for _, backend, _ in BASELINE_SPECS}
-        assert backends == {"flat", "views"}
+        assert backends == {"flat", "views", "vector"}

@@ -72,7 +72,7 @@ class TestReplay:
         # serialization, so the replay observes the same oracle verdict.
         import repro.qa.runner as runner_mod
 
-        def fake_path(graph, model, path):
+        def fake_path(graph, model, path, precomputed=None):
             return [OracleFailure("semantics", f"injected on {graph.num_nodes} nodes")]
 
         monkeypatch.setattr(runner_mod, "_run_path", fake_path)

@@ -1,0 +1,121 @@
+"""Scheduling-as-a-service: cached daemon vs sequential uncached solving.
+
+The ``repro.serve`` daemon answers a repeated-graph workload from its
+two-level cache: each distinct (benchmark, config, options) cell is
+solved once and every repeat is a memo hit.  This bench records the
+headline acceptance numbers — solves/sec and speedup over solving every
+request from scratch, plus the wall-latency percentiles a real client
+would see over HTTP — and commits them as the ``rotsched perfcheck``
+envelope (counter pins + ``MIN_SERVE_SPEEDUP`` floor + cached==fresh
+differential oracle).
+
+Two cells:
+
+* ``serve_cached`` — the gated envelope.  In-process service, sequential
+  request stream, ``process_time`` min-of-N on both sides (the same
+  methodology every other golden cell uses; perfcheck replays exactly
+  this measurement via :func:`repro.obs.perfcheck.measure_serve_workload`).
+* ``serve_http`` — informational.  A real asyncio HTTP server with a
+  sharded worker pool under a threaded loadgen; p50/p99 wall latency and
+  end-to-end solves/sec.  Not gated (wall latency through the kernel's
+  socket stack is too noisy to pin), committed for the record.
+
+Regenerate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py \
+        --benchmark-only --benchmark-json=BENCH_serve.json
+"""
+
+import asyncio
+import threading
+
+from repro.obs.perfcheck import MIN_SERVE_SPEEDUP, measure_serve_workload
+from repro.serve import demo_workload, run_loadgen
+from repro.serve.protocol import schedule_bits
+
+from conftest import record, run_once
+
+WORKLOAD_REPEATS = 8
+REPEATS = 3
+
+
+def _measure_cached():
+    return measure_serve_workload(WORKLOAD_REPEATS, REPEATS)
+
+
+def test_serve_cached_vs_uncached(benchmark):
+    serve_s, uncached_s, envelopes, fresh_by_fp, distinct = run_once(
+        benchmark, _measure_cached
+    )
+    assert not any("error" in e for e in envelopes)
+    for envelope in envelopes:
+        fresh = fresh_by_fp[envelope["fingerprint"]]
+        assert schedule_bits(envelope["result"]) == schedule_bits(fresh)
+    hits = sum(
+        1 for e in envelopes if e["cache"] in ("memory", "disk", "coalesced")
+    )
+    hit_rate = hits / len(envelopes)
+    speedup = uncached_s / serve_s
+    assert speedup >= MIN_SERVE_SPEEDUP, (
+        f"serve speedup {speedup:.2f}x below the {MIN_SERVE_SPEEDUP:.1f}x floor"
+    )
+    record(
+        benchmark,
+        headline="serve_cached",
+        workload="demo",
+        workload_repeats=WORKLOAD_REPEATS,
+        requests=len(envelopes),
+        distinct=distinct,
+        serve_seconds=round(serve_s, 4),
+        uncached_seconds=round(uncached_s, 4),
+        speedup=round(speedup, 2),
+        hit_rate=round(hit_rate, 4),
+        solves_per_sec=round(len(envelopes) / serve_s, 1) if serve_s else 0.0,
+        min_serve_speedup=MIN_SERVE_SPEEDUP,
+    )
+
+
+def _measure_http():
+    from repro.serve import build_service, start_server
+
+    workload = demo_workload(repeats=WORKLOAD_REPEATS)
+    report_box = {}
+
+    async def main():
+        service = build_service(workers=2)
+        server = await start_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        try:
+            report_box["report"] = await loop.run_in_executor(
+                None, lambda: run_loadgen(port=port, workload=workload, concurrency=4)
+            )
+            report_box["stats"] = service.stats()
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+
+    asyncio.run(main())
+    return report_box["report"], report_box["stats"]
+
+
+def test_serve_http_latency(benchmark):
+    report, stats = run_once(benchmark, _measure_http)
+    assert report.errors == 0, report.summary()
+    record(
+        benchmark,
+        headline="serve_http",
+        workload="demo",
+        workload_repeats=WORKLOAD_REPEATS,
+        workers=stats["workers"],
+        requests=report.requests,
+        seconds=round(report.seconds, 4),
+        solves_per_sec=round(report.solves_per_sec, 1),
+        hit_rate=round(report.hit_rate, 4),
+        p50_ms=round(report.percentile(50), 2),
+        p99_ms=round(report.percentile(99), 2),
+        cache_levels=dict(sorted(report.cache_levels.items())),
+        worker_crashes=stats["worker_crashes"],
+    )
+    assert threading.active_count() >= 1  # loadgen threads joined cleanly

@@ -460,8 +460,58 @@ def cmd_gate(args: argparse.Namespace) -> int:
         print("gate: FAIL")
         return 1
     print(f"gate: trace smoke: {len(tr.events)} events, schema valid")
+
+    print("gate: serve smoke (golden requests, inline service, 2 rounds)")
+    from repro.qa import check_serve_differential
+    from repro.serve import build_service
+
+    service = build_service(inline=True)
+    try:
+        oracle = check_serve_differential(service, rounds=2)
+    finally:
+        service.close()
+    print(f"  {oracle.summary()}")
+    hits = oracle.cache_levels.get("memory", 0) + oracle.cache_levels.get("disk", 0)
+    if not oracle.ok or hits < oracle.requests // 2:
+        print("gate: FAIL")
+        return 1
     print("gate: PASS")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_server
+
+    mode = "inline" if args.inline else f"{args.workers} worker shard(s)"
+    print(
+        f"rotsched serve: http://{args.host}:{args.port} ({mode}, "
+        f"memory cache {args.cache_size}, artifacts "
+        f"{args.artifacts or 'disabled'})"
+    )
+    run_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        artifacts=args.artifacts,
+        inline=args.inline,
+        batch_window=args.batch_window,
+    )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serve import demo_workload, run_loadgen
+
+    workload = demo_workload(repeats=args.repeats)
+    report = run_loadgen(
+        host=args.host,
+        port=args.port,
+        workload=workload,
+        concurrency=args.concurrency,
+    )
+    print(report.summary())
+    return 0 if report.errors == 0 else 1
 
 
 def cmd_unfold(args: argparse.Namespace) -> int:
@@ -684,7 +734,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "gate",
         help="pre-merge gate: tier-1 tests + golden parity suite + fuzz smoke "
-        "+ perfcheck smoke + trace smoke",
+        "+ perfcheck smoke + trace smoke + serve smoke",
     )
     p.add_argument(
         "--jobs", type=int, default=4, help="worker processes for the fuzz tier"
@@ -698,6 +748,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only the fuzz smoke tier (assume pytest already ran)",
     )
     p.set_defaults(func=cmd_gate)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling daemon: HTTP/JSON solves behind a "
+        "two-level (memory + artifact) cache",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8172)
+    p.add_argument(
+        "--workers", type=int, default=2, help="solver worker processes (fingerprint-sharded)"
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=256, help="in-process LRU capacity (responses)"
+    )
+    p.add_argument(
+        "--artifacts",
+        default=None,
+        help="directory for the on-disk artifact tier (replayable qa bundles); "
+        "omit to keep the cache memory-only",
+    )
+    p.add_argument(
+        "--inline",
+        action="store_true",
+        help="solve in-process instead of in worker shards (debugging)",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        help="seconds to hold a miss open for cohort batching (0 disables)",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive a running daemon with the demo workload and report "
+        "throughput, hit rate, and latency percentiles",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8172)
+    p.add_argument(
+        "--repeats", type=int, default=4, help="times each distinct cell is requested"
+    )
+    p.add_argument("--concurrency", type=int, default=4, help="client threads")
+    p.set_defaults(func=cmd_loadgen)
 
     p = sub.add_parser("unfold", help="unfold a graph and save it as JSON")
     p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")

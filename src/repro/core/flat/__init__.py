@@ -7,7 +7,12 @@ dict-based engine (``backend="views"``) and the cache-free naive path
 (``backend="naive"``), as pinned by the golden parity suite.
 """
 
-from repro.core.flat.graph import FlatGraph, FlatModel
+from repro.core.flat.graph import (
+    FlatGraph,
+    FlatModel,
+    model_signature,
+    structural_signature,
+)
 from repro.core.flat.kernels import (
     FlatGrid,
     flat_heights,
@@ -40,7 +45,9 @@ __all__ = [
     "flat_sort_keys",
     "flat_topological_order",
     "flat_wrap_period",
+    "model_signature",
     "retimed_delays",
     "seed_grid",
+    "structural_signature",
     "zero_delay_lists",
 ]

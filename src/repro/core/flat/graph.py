@@ -269,6 +269,44 @@ class FlatGraph:
         return g
 
 
+def structural_signature(graph: DFG) -> tuple:
+    """Hashable identity of everything scheduling reads from a graph.
+
+    Node ids (not just shape), ops, explicit exec-time overrides
+    (:meth:`~repro.dfg.graph.DFG.set_exec_time` steers priorities and
+    analyses), and the ``(src, dst, delay)`` edge list in insertion order —
+    the order every deterministic tie-break keys on.  Two graphs with equal
+    signatures accept each other's schedules and retimings verbatim, which
+    is what lets :func:`repro.core.vector.batch.solve_batch` duplicates
+    share one RotationResult and lets the serve cache answer for a
+    structurally identical request.  Simulation-only state (edge inits,
+    node attrs/funcs/labels, the graph name) is deliberately excluded: it
+    never reaches a scheduler.
+    """
+    nodes = tuple(graph.nodes)
+    return (
+        nodes,
+        tuple(graph.op(v) for v in nodes),
+        tuple(graph.explicit_time(v) for v in nodes),
+        tuple((e.src, e.dst, e.delay) for e in graph.edges),
+    )
+
+
+def model_signature(model: ResourceModel) -> tuple:
+    """Hashable identity of everything scheduling reads from a model.
+
+    Unit specs in declaration order — name, count, latency and the
+    ``pipelined`` flag (which changes busy offsets, hence wrapping) — plus
+    the op→unit binding sorted by op.  Together with
+    :func:`structural_signature` this is the complete per-(graph, model)
+    half of a solve fingerprint; see ``docs/serving.md`` for the contract.
+    """
+    return (
+        tuple((u.name, u.count, u.latency, u.pipelined) for u in model.units),
+        tuple(sorted(model.binding.items())),
+    )
+
+
 class FlatModel:
     """A resource model compiled against a :class:`FlatGraph`'s op classes.
 

@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dfg.graph import DFG
 from repro.schedule.resources import ResourceModel
-from repro.core.flat.graph import FlatGraph, FlatModel
+from repro.core.flat.graph import FlatGraph, FlatModel, structural_signature
 from repro.core.vector._compat import require_numpy
 from repro.core.vector.engine import VectorEngine, _StructView
 from repro.core.vector.kernels import (
@@ -37,17 +37,18 @@ from repro.core.vector.kernels import (
 def graph_signature(graph: DFG) -> tuple:
     """Hashable structural identity of a graph for batch deduplication.
 
-    Includes node ids (not just shape), so two graphs with equal
-    signatures accept each other's schedules and retimings verbatim —
-    the property that lets duplicates share one RotationResult.
+    Delegates to :func:`repro.core.flat.graph.structural_signature` — the
+    one definition of "everything scheduling reads from a graph", shared
+    with the serve-layer request fingerprint so the two dedup keys cannot
+    drift apart.  Includes node ids (not just shape), so two graphs with
+    equal signatures accept each other's schedules and retimings verbatim —
+    the property that lets duplicates share one RotationResult.  The model,
+    heuristic, priority and rotation sizes are *not* part of this key: one
+    ``solve_batch`` call holds them constant for the whole cohort (callers
+    batching across models must group first — the serve layer's cohort
+    keys do exactly that).
     """
-    nodes = tuple(graph.nodes)
-    return (
-        nodes,
-        tuple(graph.op(v) for v in nodes),
-        tuple(graph.explicit_time(v) for v in nodes),
-        tuple((e.src, e.dst, e.delay) for e in graph.edges),
-    )
+    return structural_signature(graph)
 
 
 class BatchedFlatGraph:

@@ -23,6 +23,7 @@ Two algorithms are provided and cross-checked in the tests:
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 from typing import Dict, List, Optional, Tuple
 
@@ -35,6 +36,15 @@ from repro.errors import GraphError, ZeroDelayCycleError
 #: ``(num_nodes, src_index, dst_index, delay, t(src))``.
 ConstraintArrays = Tuple[int, List[int], List[int], List[int], List[int]]
 
+#: graph -> {id(timing): (timing, graph epoch, arrays)}.  Same shape and
+#: same staleness rule as ``repro.core.wrapping._WRAP_STATIC``: the strong
+#: timing reference inside the value keeps the id stable for the entry's
+#: lifetime, the outer keys die with their graphs, and the stored epoch
+#: invalidates the entry after an in-place mutation (DFG versioned-mutation
+#: protocol) — without it a MutableSchedulingSession edit followed by a
+#: lower-bound check would probe stale constraint columns.
+_ARRAYS_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
 
 def _constraint_arrays(graph: DFG, timing: Optional[Timing]) -> ConstraintArrays:
     """Compile the constraint graph once for the whole binary search.
@@ -42,8 +52,25 @@ def _constraint_arrays(graph: DFG, timing: Optional[Timing]) -> ConstraintArrays
     Every probe needs the same four per-edge numbers — source index,
     destination index, delay, and source computation time — so they are
     extracted from the object graph a single time and each probe becomes
-    pure integer array arithmetic.
+    pure integer array arithmetic.  The compile itself is memoized per
+    (graph, timing, epoch), so repeated bound queries on an unchanged
+    graph (the QA lower-bound oracle runs once per fuzz cell; sessions
+    re-check after every edit) skip the object-graph walk entirely.
     """
+    per_graph = _ARRAYS_CACHE.get(graph)
+    if per_graph is None:
+        per_graph = {}
+        _ARRAYS_CACHE[graph] = per_graph
+    entry = per_graph.get(id(timing))
+    if entry is not None and entry[0] is timing and entry[1] == graph.epoch:
+        return entry[2]
+    arrays = _compile_constraint_arrays(graph, timing)
+    per_graph[id(timing)] = (timing, graph.epoch, arrays)
+    return arrays
+
+
+def _compile_constraint_arrays(graph: DFG, timing: Optional[Timing]) -> ConstraintArrays:
+    """The raw object-graph walk behind :func:`_constraint_arrays`."""
     index = {v: i for i, v in enumerate(graph.nodes)}
     esrc: List[int] = []
     edst: List[int] = []
@@ -54,7 +81,7 @@ def _constraint_arrays(graph: DFG, timing: Optional[Timing]) -> ConstraintArrays
         edst.append(index[e.dst])
         edelay.append(e.delay)
         etsrc.append(graph.time(e.src, timing))
-    return graph.num_nodes, esrc, edst, edelay, etsrc
+    return (graph.num_nodes, esrc, edst, edelay, etsrc)
 
 
 def _arrays_have_cycle(arrays: ConstraintArrays, lam: Fraction, strict: bool) -> bool:

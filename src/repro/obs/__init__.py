@@ -18,14 +18,18 @@ Four pieces, all stdlib-only:
 from repro.obs.export import Trace, TraceError, parse_trace, read_trace, validate_trace, write_trace
 from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, engine_metrics, render_metrics
 from repro.obs.perfcheck import (
+    MIN_SERVE_SPEEDUP,
     BatchCell,
     GoldenCell,
     IncrementalCell,
     PerfReport,
     VectorHeadlineCell,
+    ServeCell,
     load_golden_cells,
     load_incremental_cells,
+    load_serve_cells,
     load_vector_cells,
+    measure_serve_workload,
     run_perfcheck,
 )
 from repro.obs.profile import Profile, ProfileRow, aggregate, profile_of, render_profile
@@ -48,6 +52,8 @@ __all__ = [
     "BatchCell",
     "GoldenCell",
     "IncrementalCell",
+    "MIN_SERVE_SPEEDUP",
+    "ServeCell",
     "MetricsRegistry",
     "VectorHeadlineCell",
     "NullTracer",
@@ -65,7 +71,9 @@ __all__ = [
     "engine_metrics",
     "load_golden_cells",
     "load_incremental_cells",
+    "load_serve_cells",
     "load_vector_cells",
+    "measure_serve_workload",
     "parse_trace",
     "profile_of",
     "read_trace",

@@ -69,6 +69,13 @@ MIN_VECTOR_SPEEDUP = 3.0
 #: committed envelope already pins the honestly measured ratio.
 MIN_BATCH_SPEEDUP = 5.0
 
+#: Committed serve-daemon envelope (written by ``benchmarks/bench_serve.py``).
+SERVE_BASELINE = "BENCH_serve.json"
+
+#: The cached service must answer a repeated-graph workload at least this
+#: many times faster than solving every request sequentially, uncached.
+MIN_SERVE_SPEEDUP = 5.0
+
 
 @dataclass(frozen=True)
 class GoldenCell:
@@ -224,6 +231,45 @@ class BatchResult:
         return self.flat_seq_seconds / self.batched_seconds if self.batched_seconds else float("inf")
 
 
+@dataclass(frozen=True)
+class ServeCell:
+    """The pinned serve-vs-uncached acceptance cell of ``BENCH_serve.json``."""
+
+    source: str
+    workload: str
+    requests: int
+    distinct: int
+    workload_repeats: int
+    serve_seconds: float
+    uncached_seconds: float
+    speedup: float
+    hit_rate: float
+
+    def label(self) -> str:
+        return f"serve:{self.workload}x{self.workload_repeats}"
+
+
+@dataclass
+class ServeResult:
+    """Outcome of replaying the serve workload against uncached solving."""
+
+    cell: ServeCell
+    serve_seconds: float = 0.0
+    uncached_seconds: float = 0.0
+    requests: Optional[int] = None
+    distinct: Optional[int] = None
+    hit_rate: float = 0.0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def speedup(self) -> float:
+        return self.uncached_seconds / self.serve_seconds if self.serve_seconds else float("inf")
+
+
 @dataclass
 class PerfReport:
     """Aggregate perfcheck outcome."""
@@ -235,6 +281,7 @@ class PerfReport:
     skipped_baselines: List[str] = field(default_factory=list)
     incremental: List[IncrementalResult] = field(default_factory=list)
     vector: List[Any] = field(default_factory=list)
+    serve: List[ServeResult] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -242,6 +289,7 @@ class PerfReport:
             all(r.ok for r in self.results)
             and all(r.ok for r in self.incremental)
             and all(r.ok for r in self.vector)
+            and all(r.ok for r in self.serve)
             and bool(self.results)
         )
 
@@ -263,6 +311,12 @@ class PerfReport:
             head += (
                 f"; vector {len(self.vector) - vbad}/"
                 f"{len(self.vector)} speedup cells ok"
+            )
+        if self.serve:
+            sbad = sum(1 for r in self.serve if not r.ok)
+            head += (
+                f"; serve {len(self.serve) - sbad}/{len(self.serve)} "
+                f"cache cells ok"
             )
         if self.skipped_baselines:
             head += f"; missing baselines skipped: {', '.join(self.skipped_baselines)}"
@@ -306,6 +360,16 @@ class PerfReport:
                     f"vector {r.vector_seconds:.4f}s  "
                     f"flat {r.flat_seconds:.4f}s  ({r.speedup:.1f}x)"
                 )
+            for p in r.problems:
+                lines.append(f"       - {p}")
+        for r in self.serve:
+            status = "ok" if r.ok else "FAIL"
+            lines.append(
+                f"  {status:<4} {r.cell.label():<28} "
+                f"served {r.serve_seconds:.4f}s  "
+                f"uncached {r.uncached_seconds:.4f}s  ({r.speedup:.1f}x, "
+                f"hit rate {r.hit_rate:.0%})"
+            )
             for p in r.problems:
                 lines.append(f"       - {p}")
         return "\n".join(lines)
@@ -421,6 +485,152 @@ def load_vector_cells(
     if headline is None and batch is None:
         raise ReproError(f"no vector acceptance cells found in {path}")
     return headline, batch
+
+
+def load_serve_cells(path: str) -> List[ServeCell]:
+    """Extract pinned serve cells from ``BENCH_serve.json``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    cells: List[ServeCell] = []
+    source = os.path.basename(path)
+    needed = {"workload", "requests", "distinct", "workload_repeats",
+              "serve_seconds", "uncached_seconds", "speedup", "hit_rate"}
+    for entry in data.get("benchmarks", ()):
+        info = entry.get("extra_info") or {}
+        if info.get("headline") != "serve_cached" or not needed <= info.keys():
+            continue
+        cells.append(
+            ServeCell(
+                source=source,
+                workload=info["workload"],
+                requests=int(info["requests"]),
+                distinct=int(info["distinct"]),
+                workload_repeats=int(info["workload_repeats"]),
+                serve_seconds=float(info["serve_seconds"]),
+                uncached_seconds=float(info["uncached_seconds"]),
+                speedup=float(info["speedup"]),
+                hit_rate=float(info["hit_rate"]),
+            )
+        )
+    if not cells:
+        raise ReproError(f"no serve acceptance cells found in {path}")
+    return cells
+
+
+def measure_serve_workload(workload_repeats: int, repeats: int):
+    """Serve a repeated-graph workload vs solving it sequentially, uncached.
+
+    Returns ``(serve_seconds, uncached_seconds, envelopes, fresh_by_fp,
+    distinct)`` — min-of-N ``process_time`` on both sides, same
+    methodology as every other golden cell.  The served side runs an
+    in-process (inline-pool) service and submits the workload as one
+    sequential request stream, so the cache-hit pattern is deterministic:
+    each distinct cell misses once and hits thereafter.  The uncached
+    side re-parses and re-solves every request — what answering without
+    the daemon would cost.  Shared by ``benchmarks/bench_serve.py`` (which
+    commits the envelope) and :func:`run_perfcheck` (which replays it).
+    """
+    import asyncio
+
+    from repro.serve import build_service, demo_workload
+    from repro.serve.protocol import (
+        canonical_request,
+        fingerprint,
+        parse_request,
+        solve_canonical,
+    )
+
+    workload = demo_workload(repeats=workload_repeats)
+
+    uncached_best = float("inf")
+    fresh_by_fp: Dict[str, Any] = {}
+    for _ in range(max(repeats, 1)):
+        t0 = time.process_time()
+        solved = {}
+        for payload in workload:
+            canonical = canonical_request(parse_request(payload))
+            solved[fingerprint(canonical)] = solve_canonical(canonical)
+        dt = time.process_time() - t0
+        if dt < uncached_best:
+            uncached_best = dt
+            fresh_by_fp = solved
+
+    async def drive(service):
+        return [await service.solve(p) for p in workload]
+
+    serve_best = float("inf")
+    envelopes: List[Dict[str, Any]] = []
+    for _ in range(max(repeats, 1)):
+        service = build_service(inline=True)
+        try:
+            t0 = time.process_time()
+            envs = asyncio.run(drive(service))
+            dt = time.process_time() - t0
+        finally:
+            service.close()
+        if dt < serve_best:
+            serve_best = dt
+            envelopes = envs
+    return serve_best, uncached_best, envelopes, fresh_by_fp, len(fresh_by_fp)
+
+
+def _measure_serve_cell(
+    cell: ServeCell, repeats: int, tolerance: float
+) -> ServeResult:
+    """Replay the serve acceptance cell and re-run the cached==fresh oracle."""
+    from repro.serve.protocol import schedule_bits
+
+    serve_s, uncached_s, envelopes, fresh_by_fp, distinct = measure_serve_workload(
+        cell.workload_repeats, repeats
+    )
+    hits = sum(1 for e in envelopes if e.get("cache") in ("memory", "disk", "coalesced"))
+    sr = ServeResult(
+        cell,
+        serve_seconds=serve_s,
+        uncached_seconds=uncached_s,
+        requests=len(envelopes),
+        distinct=distinct,
+        hit_rate=hits / len(envelopes) if envelopes else 0.0,
+    )
+    for name, measured, pinned in (
+        ("requests", sr.requests, cell.requests),
+        ("distinct", sr.distinct, cell.distinct),
+    ):
+        if measured != pinned:
+            sr.problems.append(f"counter delta: {name} {measured} != pinned {pinned}")
+    if abs(sr.hit_rate - cell.hit_rate) > 1e-9:
+        sr.problems.append(
+            f"counter delta: hit rate {sr.hit_rate:.4f} != pinned {cell.hit_rate:.4f}"
+        )
+    for envelope in envelopes:
+        if "error" in envelope:
+            sr.problems.append(f"error envelope: {envelope['error']}")
+            continue
+        fresh = fresh_by_fp.get(envelope["fingerprint"])
+        if fresh is None:
+            sr.problems.append(
+                f"fingerprint drift: served {envelope['fingerprint'][:12]} "
+                f"never produced by the uncached pass"
+            )
+        elif schedule_bits(envelope["result"]) != schedule_bits(fresh):
+            sr.problems.append(
+                f"oracle: cached != fresh for {envelope['fingerprint'][:12]} "
+                f"(level {envelope.get('cache')!r})"
+            )
+    required = MIN_SERVE_SPEEDUP / (1.0 + tolerance)
+    if sr.speedup < required:
+        sr.problems.append(
+            f"serve speedup {sr.speedup:.2f}x below required "
+            f"{MIN_SERVE_SPEEDUP:.1f}x/{1.0 + tolerance:.2f} = {required:.2f}x "
+            f"(served {serve_s:.4f}s, uncached {uncached_s:.4f}s)"
+        )
+    limit = cell.serve_seconds * (1.0 + tolerance)
+    if serve_s > limit:
+        sr.problems.append(
+            f"wall-time regression: served {serve_s:.4f}s > "
+            f"{cell.serve_seconds:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+        )
+    return sr
 
 
 def _measure_vector_headline(
@@ -667,6 +877,7 @@ def run_perfcheck(
     smoke: bool = False,
     incremental_baseline: Optional[str] = INCREMENTAL_BASELINE,
     vector_baseline: Optional[str] = VECTOR_BASELINE,
+    serve_baseline: Optional[str] = SERVE_BASELINE,
 ) -> PerfReport:
     """Re-run every pinned golden cell and compare against its envelope.
 
@@ -688,6 +899,11 @@ def run_perfcheck(
             cells gate the ``MIN_VECTOR_SPEEDUP`` single-solve floor and
             the ``MIN_BATCH_SPEEDUP`` cohort floor; all vector cells are
             skipped (not failed) when numpy is unavailable.
+        serve_baseline: filename of the committed serve-daemon envelope
+            (``None`` disables the serve tier).  Its cells gate the
+            ``MIN_SERVE_SPEEDUP`` cached-vs-uncached floor, pin the
+            deterministic hit rate, and re-run the cached==fresh
+            differential oracle on every served envelope.
     """
     from repro.core.vector import have_numpy
 
@@ -742,5 +958,12 @@ def run_perfcheck(
                 )
             if batch is not None:
                 report.vector.append(_measure_batch_cell(batch, repeats, tolerance))
+    if serve_baseline is not None:
+        path = os.path.join(root, serve_baseline)
+        if not os.path.exists(path):
+            report.skipped_baselines.append(serve_baseline)
+        else:
+            for scell in load_serve_cells(path):
+                report.serve.append(_measure_serve_cell(scell, repeats, tolerance))
     report.elapsed = time.perf_counter() - t0
     return report

@@ -33,6 +33,12 @@ from repro.qa.incremental import (
     check_incremental_session,
     random_edit_script,
 )
+from repro.qa.serve import (
+    GOLDEN_REQUESTS,
+    ServeOracleReport,
+    check_envelope,
+    check_serve_differential,
+)
 from repro.qa.runner import (
     BATCHED_PATHS,
     DEFAULT_CONFIGS,
@@ -55,14 +61,18 @@ __all__ = [
     "FailureRecord",
     "FuzzCase",
     "FuzzReport",
+    "GOLDEN_REQUESTS",
     "OracleFailure",
     "PATHS",
     "PINNED_EDIT_SCRIPTS",
     "ReproBundle",
+    "ServeOracleReport",
     "batch_groups",
     "certify_rotation",
     "certify_wrapped",
+    "check_envelope",
     "check_incremental_session",
+    "check_serve_differential",
     "check_lower_bound",
     "check_modulo",
     "check_parity",

@@ -112,6 +112,11 @@ class ResourceModel:
     def units(self) -> List[UnitSpec]:
         return list(self._units.values())
 
+    @property
+    def binding(self) -> Dict[str, str]:
+        """The op-type -> unit-class binding (a copy)."""
+        return dict(self._binding)
+
     def unit(self, name: str) -> UnitSpec:
         """Look a unit class up by name."""
         try:

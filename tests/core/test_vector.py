@@ -538,3 +538,27 @@ class TestMissingNumpy:
         graph = build_case_graph("random_dfg", {"num_nodes": 6, "seed": 1})
         failures = run_cell_on_graph(graph, "1A1M", "parity")
         assert failures == []
+
+
+class TestMissingNumpyBatchAndFuzz:
+    """Forced-import-failure coverage for the remaining vector entry points."""
+
+    def test_solve_batch_raises_clear_repro_error(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.core.vector.batch import solve_batch
+
+        monkeypatch.setattr(compat, "np", None)
+        monkeypatch.setattr(compat, "NUMPY_ERROR", ImportError("forced"))
+        with pytest.raises(ReproError, match="numpy"):
+            solve_batch([random_dfg(5, seed=2)], MODEL)
+
+    def test_batched_prepass_degrades_to_empty_map(self, monkeypatch):
+        import repro.core.vector._compat as compat
+        from repro.obs.metrics import MetricsRegistry
+        from repro.qa.runner import FuzzReport, smoke_cases, _batched_prepass
+
+        monkeypatch.setattr(compat, "np", None)
+        out = _batched_prepass(
+            list(smoke_cases()), MetricsRegistry("test"), FuzzReport()
+        )
+        assert out == {}

@@ -137,3 +137,88 @@ class TestAlgorithmsAgree:
         )
         assert bound == Fraction(16, 1)
         assert (bound.numerator, bound.denominator) == (16, 1)
+
+
+class TestArraysCacheEpoch:
+    """The parametric bound's compiled-arrays memo must die with its epoch.
+
+    The memo is keyed per (graph, timing, epoch): an in-place mutation
+    (DFG versioned-mutation protocol) bumps the epoch, and the next bound
+    query must recompile rather than probe stale delay/time columns.
+    """
+
+    def test_mutation_invalidates_compiled_arrays(self):
+        g = DFG("epoch")
+        g.add_node("a", "add")
+        g.add_node("m", "mul")
+        g.add_edge("a", "m", 0)
+        back = g.add_edge("m", "a", 2)
+        timing = Timing({"add": 1, "mul": 4})
+        assert iteration_bound_parametric(g, timing) == Fraction(5, 2)
+        # Halve the delay budget on the cycle: the bound must double-check
+        # against the *new* arrays, not the memoized ones.
+        g.set_delay(back, 1)
+        assert iteration_bound_parametric(g, timing) == Fraction(5, 1)
+        g.set_delay(back, 2)
+        assert iteration_bound_parametric(g, timing) == Fraction(5, 2)
+
+    def test_unchanged_graph_reuses_arrays_across_calls(self, monkeypatch):
+        import importlib
+
+        ib_mod = importlib.import_module("repro.dfg.iteration_bound")
+        g = DFG("reuse")
+        g.add_node("a", "add")
+        g.add_node("m", "mul")
+        g.add_edge("a", "m", 0)
+        eid = g.add_edge("m", "a", 1)
+        timing = Timing({"add": 1, "mul": 2})
+
+        compiles = []
+        real_loop = ib_mod._compile_constraint_arrays
+        monkeypatch.setattr(
+            ib_mod,
+            "_compile_constraint_arrays",
+            lambda graph, t: compiles.append(1) or real_loop(graph, t),
+        )
+        first = ib_mod.iteration_bound_parametric(g, timing)
+        second = ib_mod.iteration_bound_parametric(g, timing)
+        assert first == second == Fraction(3, 1)
+        assert len(compiles) == 1  # second call hit the epoch-keyed memo
+        g.set_delay(eid, 3)
+        assert ib_mod.iteration_bound_parametric(g, timing) == Fraction(1, 1)
+        assert len(compiles) == 2  # epoch bump forced a recompile
+
+    def test_structural_mutations_also_invalidate(self):
+        g = DFG("grow")
+        g.add_node("a", "add")
+        g.add_node("b", "add")
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 2)
+        timing = Timing({"add": 1})
+        assert iteration_bound_parametric(g, timing) == Fraction(1, 1)
+        g.add_node("c", "add")
+        g.add_edge("b", "c", 0)
+        g.add_edge("c", "a", 1)  # new cycle: 3 time / 1 delay
+        assert iteration_bound_parametric(g, timing) == Fraction(3, 1)
+
+    def test_session_edit_then_bound_sees_fresh_value(self):
+        # The end-to-end shape the serve warm path relies on: a session
+        # mutates its graph in place, then a lower-bound query runs.
+        from repro.core.session import MutableSchedulingSession
+        from repro.schedule.resources import ResourceModel
+        from repro.suite import random_dfg
+
+        g = random_dfg(10, seed=13)
+        session = MutableSchedulingSession(
+            g, ResourceModel.adders_mults(2, 1), copy_graph=False
+        )
+        timing = Timing({"add": 1, "mul": 2})
+        before = iteration_bound_parametric(g, timing)
+        e = next(e for e in g.edges if e.delay > 0)
+        session.apply_edit({"edit": "set_delay", "src": e.src, "dst": e.dst,
+                           "delay": e.delay + 4})
+        session.resolve()
+        after = iteration_bound_parametric(g, timing)
+        fresh = iteration_bound_parametric(g.copy(), timing)
+        assert after == fresh
+        assert before != after  # the extra registers loosened the bound

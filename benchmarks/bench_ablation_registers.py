@@ -5,16 +5,17 @@ connection binding, allocation".
 
 Measured here: across the tied-optimal set Q of each benchmark, the
 steady-state register requirement varies — selecting the best member
-saves real registers at zero cost in schedule length.
+saves real registers at zero cost in schedule length.  Cell execution
+goes through :func:`repro.explore.run_grid` (the cold path keeps the
+full :class:`RotationResult` on the outcome for the Q-set analysis).
 """
 
 import pytest
 
 from repro.binding import select_schedule
-from repro.core import rotation_schedule
-from repro.suite import get_benchmark
+from repro.explore import build_grid, cell_model, run_grid
 
-from conftest import model_for, record, run_once
+from conftest import record, run_once
 
 CASES = [
     ("diffeq", "1A1M"),
@@ -26,23 +27,22 @@ CASES = [
 
 @pytest.mark.parametrize("bench,tag", CASES)
 def test_register_spread_across_q(benchmark, bench, tag):
-    graph = get_benchmark(bench)
-    model = model_for(tag)
+    cells = build_grid([bench], [tag])
 
     def run():
-        result = rotation_schedule(graph, model)
-        return result, select_schedule(result)
+        (outcome,) = run_grid(cells, cold=True)
+        return outcome, select_schedule(outcome.result)
 
-    result, selection = run_once(benchmark, run)
+    outcome, selection = run_once(benchmark, run)
     record(
         benchmark,
         bench=bench,
-        resources=model.label(),
+        resources=cell_model(outcome.spec).label(),
         optimal_schedules=len(selection.costs),
         register_costs=sorted(selection.costs),
         best=selection.best_cost,
         worst=max(selection.costs),
         spread=selection.spread,
     )
-    assert selection.best.period == result.length  # selection is free
+    assert selection.best.period == outcome.length  # selection is free
     assert selection.best_cost == min(selection.costs)

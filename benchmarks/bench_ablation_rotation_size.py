@@ -3,14 +3,20 @@ on convergence speed ("the convergence speed is faster when the rotation
 size is large ... some irregularities exist ... if the rotation size is
 too small, the phase may never converge").
 
-For each phase size, run Heuristic 1 restricted to that single size and
-count rotations until the optimum first appears.
+The size axis is the explorer's ``sigma`` axis: the sweep is a
+:func:`repro.explore.build_grid` grid over ``sigmas`` run through
+:func:`repro.explore.run_grid` with a custom ``execute`` that restricts
+Heuristic 1 to that single size and counts rotations until the optimum
+first appears (stashed on ``CellOutcome.result``).
 """
+
+import time
 
 import pytest
 
 from repro.schedule import ResourceModel
-from repro.core import BestTracker, RotationState, rotation_phase
+from repro.core import BestTracker, RotationState
+from repro.explore import CellOutcome, build_grid, objective_point, run_grid
 from repro.suite import get_benchmark
 
 from conftest import record, run_once
@@ -26,26 +32,40 @@ def test_rotations_to_converge_by_size(benchmark, bench, tag, optimum):
         ResourceModel.unit_time(1, 1) if tag == "unit"
         else ResourceModel.adders_mults(3, 2)
     )
+    initial = RotationState.initial(graph, model)
+    # The config tag only labels the cell here — `probe` supplies the
+    # model itself (unit-time has no <n>A<m>M spelling).
+    cells = build_grid(
+        [bench],
+        ["1A1M" if tag == "unit" else tag],
+        sigmas=list(range(1, min(10, initial.length))),
+    )
 
-    def sweep():
-        initial = RotationState.initial(graph, model)
-        out = {}
-        for size in range(1, min(10, initial.length)):
-            tracker = BestTracker()
-            tracker.offer(initial)
-            state, count = initial, None
-            for j in range(1, 61):
-                if state.length <= 1:
-                    break
-                state = state.down_rotate(min(size, state.length - 1))
-                tracker.offer(state)
-                if tracker.length == optimum:
-                    count = j
-                    break
-            out[size] = count  # None = did not converge in 60 rotations
-        return out
+    def probe(spec):
+        t0 = time.perf_counter()
+        tracker = BestTracker()
+        tracker.offer(initial)
+        state, count = initial, None
+        for j in range(1, 61):
+            if state.length <= 1:
+                break
+            state = state.down_rotate(min(spec.sigma, state.length - 1))
+            tracker.offer(state)
+            if tracker.length == optimum:
+                count = j
+                break
+        return CellOutcome(
+            spec=spec,
+            point=objective_point(spec, tracker.length, 0),
+            length=tracker.length,
+            registers=0,
+            elapsed=time.perf_counter() - t0,
+            source="probe",
+            result=count,  # None = did not converge in 60 rotations
+        )
 
-    convergence = run_once(benchmark, sweep)
+    outcomes = run_once(benchmark, run_grid, cells, execute=probe)
+    convergence = {o.spec.sigma: o.result for o in outcomes}
     record(benchmark, rotations_until_optimal_by_size=convergence, optimum=optimum)
     assert any(c is not None for c in convergence.values())
     converged = {s: c for s, c in convergence.items() if c is not None}

@@ -5,30 +5,55 @@ multiplies).
 
 Sweeping the control-step length shows the classic HLS trade-off: longer
 steps chain more operations (fewer CS) but each step is slower — total
-latency in ns is what matters.
+latency in ns is what matters.  The clock is the explorer's ``clock_ns``
+axis: each control-step length is a cell run through
+:func:`repro.explore.run_grid` with a chained-scheduling ``execute``
+(chaining is ns-granularity semantics, not the integral latency model
+the explorer's default solver uses — the same reason ``--via serve``
+never sends the ``clock`` option).
 """
+
+import time
 
 import pytest
 
+from repro.explore import CellOutcome, build_grid, objective_point, run_grid
 from repro.schedule.chaining import chained_full_schedule, paper_technology
 from repro.suite import get_benchmark
 
 from conftest import record, run_once
 
 
+def _chained(spec):
+    timing, _, unit_counts, op_units = paper_technology()
+    graph = get_benchmark(spec.bench)
+    t0 = time.perf_counter()
+    sched = chained_full_schedule(
+        graph, timing, spec.clock_ns, unit_counts, op_units
+    )
+    return CellOutcome(
+        spec=spec,
+        point=objective_point(spec, sched.length, 0),
+        length=sched.length,
+        registers=0,
+        elapsed=time.perf_counter() - t0,
+        source="chained",
+        result=sched,
+    )
+
+
 @pytest.mark.parametrize("cs_ns", [50, 80, 100, 120])
 def test_clock_sweep_diffeq(benchmark, cs_ns):
-    timing, _, unit_counts, op_units = paper_technology()
-    graph = get_benchmark("diffeq")
+    # paper_technology()'s unit template is one adder + one multiplier.
+    cells = build_grid(["diffeq"], ["1A1M"], clocks=[cs_ns])
 
-    sched = run_once(
-        benchmark, chained_full_schedule, graph, timing, cs_ns, unit_counts, op_units
-    )
+    (outcome,) = run_once(benchmark, run_grid, cells, execute=_chained)
+    sched = outcome.result
     record(
         benchmark,
         cs_ns=cs_ns,
-        control_steps=sched.length,
-        latency_ns=sched.length * cs_ns,
+        control_steps=outcome.length,
+        latency_ns=outcome.length * cs_ns,
         chains=len(sched.chains()),
     )
     assert sched.violations() == []

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Feedback-guided exploration of the elliptic filter design space.
+
+The same scenario as ``elliptic_design_space.py`` — trading functional
+units against throughput for the paper's 5th-order elliptic wave filter
+— but driven by the ``repro.explore`` Pareto engine instead of a
+hand-rolled sweep: a 36-cell grid (resource configs x pipelining x
+clock periods), explored with bound-based pruning and incremental
+warm-chain seeding, then checked cell-for-cell against the exhaustive
+sweep of the identical grid.
+
+Run:  python examples/explore_elliptic.py
+"""
+
+from repro.explore import build_grid, explore
+
+
+def main() -> None:
+    cells = build_grid(
+        ["elliptic"],
+        [
+            f"{adders}A{mults}M{'p' if pipelined else ''}"
+            for adders in (1, 2, 3)
+            for mults in (1, 2)
+            for pipelined in (False, True)
+        ],
+        clocks=[40, 50, 100],
+    )
+    print(f"grid: {len(cells)} cells "
+          "(3 adder counts x 2 mult counts x pipelining x 3 clocks)")
+
+    explored = explore(cells, mode="explore", round_size=6)
+    exhaustive = explore(cells, mode="exhaustive")
+
+    print()
+    print("Pareto frontier over (period per iteration, area cost), "
+          "annotated with the register-cheapest achiever:")
+    for point, labels in explored.frontiers["elliptic"]:
+        print(f"  {point.render():44s} <- {', '.join(labels)}")
+
+    print()
+    print(f"explore:    {explored.counter_line()}")
+    print(f"exhaustive: {exhaustive.counter_line()}")
+    c = explored.counters
+    print(
+        f"\nsolved {c['solved']}/{c['cells_total']} cells "
+        f"({c['pruned_bound']} bound-pruned, "
+        f"{c['pruned_dominated']} dominated, "
+        f"{c['seeded_warm']} warm-seeded, {c['dedup_hits']} memo hits) "
+        f"in {c['rounds']} rounds — "
+        f"{exhaustive.elapsed / explored.elapsed:.1f}x less wall time"
+    )
+
+    assert explored.frontier_points("elliptic") == exhaustive.frontier_points(
+        "elliptic"
+    ), "explore must reach the exhaustive frontier"
+    print("frontier == exhaustive frontier: verified")
+
+    print()
+    print("why the pruned cells could be skipped (first three):")
+    for pruned in explored.pruned[:3]:
+        print(f"  {pruned.spec.label():28s} bound {pruned.lb_point.render()}")
+        print(f"  {'':28s} beaten by {pruned.blocker.render()} [{pruned.kind}]")
+
+
+if __name__ == "__main__":
+    main()

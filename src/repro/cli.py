@@ -280,6 +280,27 @@ def cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs import profile_of, read_trace, render_profile, tracing
 
     if args.input:
+        from repro.explore.trace import is_explore_trace
+
+        if is_explore_trace(args.input):
+            # An exploration trace, not a span trace: render its decision
+            # log and the explore/v1 metrics record instead of a profile.
+            from repro.explore import read_explore_trace, render_explore_trace
+            from repro.obs import explore_metrics, render_metrics
+
+            xtrace = read_explore_trace(args.input)
+            print(render_explore_trace(xtrace, top=args.top or 10))
+            summaries = [
+                e for e in xtrace["events"] if e.get("event") == "summary"
+            ]
+            if summaries:
+                last = summaries[-1]
+                print(render_metrics(explore_metrics(
+                    last.get("counters", {}),
+                    mode=xtrace["header"].get("mode", "explore"),
+                    elapsed=last.get("elapsed"),
+                )))
+            return 0
         trace = read_trace(args.input)
         prof = profile_of(trace)
         meta = ", ".join(f"{k}={v}" for k, v in sorted(trace.meta.items()))
@@ -461,6 +482,30 @@ def cmd_gate(args: argparse.Namespace) -> int:
         return 1
     print(f"gate: trace smoke: {len(tr.events)} events, schema valid")
 
+    print("gate: explore smoke (fixed diffeq+biquad grid, explore == exhaustive)")
+    from repro.explore import build_grid, explore
+
+    grid = build_grid(["diffeq", "biquad"], ["1A1M", "2A2M"], clocks=[40, 100])
+    # round_size below the grid size so the second prune pass actually runs
+    fast = explore(grid, mode="explore", round_size=4)
+    full = explore(grid, mode="exhaustive")
+    mismatched = [
+        bench
+        for bench in {spec.bench for spec in grid}
+        if [p for p, _ in fast.frontiers.get(bench, [])]
+        != [p for p, _ in full.frontiers.get(bench, [])]
+    ]
+    print(f"  explore:    {fast.counter_line()}")
+    print(f"  exhaustive: {full.counter_line()}")
+    if mismatched or fast.counters["solved"] + fast.counters["pruned_bound"] + (
+        fast.counters["pruned_dominated"]
+    ) != len(grid):
+        for bench in mismatched:
+            print(f"  FRONTIER MISMATCH: {bench}")
+        print("gate: FAIL")
+        return 1
+    print("  frontiers equal, every cell accounted for")
+
     print("gate: serve smoke (golden requests, inline service, 2 rounds)")
     from repro.qa import check_serve_differential
     from repro.serve import build_service
@@ -476,6 +521,61 @@ def cmd_gate(args: argparse.Namespace) -> int:
         print("gate: FAIL")
         return 1
     print("gate: PASS")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.explore import build_grid, explore, write_explore_trace
+    from repro.explore.runner import ServeCellSolver
+    from repro.obs import explore_metrics, render_metrics
+
+    cells = build_grid(
+        args.benchmarks,
+        args.configs,
+        clocks=args.clocks,
+        unfolds=args.unfolds,
+        heuristics=args.heuristics,
+        sigmas=args.sigmas if args.sigmas else [None],
+    )
+    serve_solver = None
+    if args.via == "serve":
+        serve_solver = ServeCellSolver(args.host, args.port)
+    try:
+        report = explore(
+            cells,
+            mode=args.mode,
+            workers=args.workers,
+            backend=args.backend,
+            round_size=args.round_size,
+            serve_solver=serve_solver,
+        )
+    finally:
+        if serve_solver is not None:
+            serve_solver.close()
+    via = "serve" if serve_solver is not None else "local"
+    print(
+        f"{report.mode}: {len(cells)} cell(s) in {report.elapsed:.3f}s "
+        f"({via}, workers={args.workers})"
+    )
+    for bench, pts in report.frontiers.items():
+        print(f"{bench}: {len(pts)} Pareto point(s)")
+        for point, labels in pts:
+            achievers = ", ".join(labels[:3]) + (" ..." if len(labels) > 3 else "")
+            print(f"  {point.render():42s} <- {achievers}")
+    print(report.counter_line())
+    if args.trace:
+        n = write_explore_trace(report, args.trace)
+        print(f"trace: {n} event(s) -> {args.trace}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.as_json(), fh, indent=2, sort_keys=True)
+        print(f"report -> {args.json}")
+    if args.metrics:
+        print(render_metrics(explore_metrics(
+            report.counters, mode=report.mode, elapsed=report.elapsed
+        )))
     return 0
 
 
@@ -793,6 +893,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--concurrency", type=int, default=4, help="client threads")
     p.set_defaults(func=cmd_loadgen)
+
+    p = sub.add_parser(
+        "explore",
+        help="Pareto design-space exploration over (config x clock x unfold "
+        "x heuristic x rotation size)",
+    )
+    p.add_argument(
+        "benchmarks",
+        nargs="+",
+        help=f"benchmark keys ({', '.join(BENCHMARKS)})",
+    )
+    p.add_argument(
+        "-c", "--configs", nargs="+", default=["1A1M", "2A1M", "2A2M", "3A2M"],
+        help="resource configs like 3A2M 2A1Mp ...",
+    )
+    p.add_argument(
+        "--clocks", type=int, nargs="+", default=[40, 50, 100],
+        help="control-step lengths in ns (latencies = ceil(40/T), ceil(80/T))",
+    )
+    p.add_argument("--unfolds", type=int, nargs="+", default=[1])
+    p.add_argument("--heuristics", nargs="+", choices=["h1", "h2"], default=["h2"])
+    p.add_argument(
+        "--sigmas", type=int, nargs="+", default=None,
+        help="rotation sizes to sweep (default: the heuristic's own choice)",
+    )
+    p.add_argument(
+        "--mode", choices=["explore", "exhaustive"], default="explore",
+        help="feedback-guided search (default) or the full cold grid",
+    )
+    p.add_argument("--workers", type=int, default=1, help="work-stealing pool size")
+    p.add_argument(
+        "--round-size", type=int, default=None,
+        help="cells solved between pruning passes (default max(8, 2*workers))",
+    )
+    p.add_argument(
+        "--backend", choices=sorted(BACKENDS), default=None,
+        help="cell-solver backend (default: vector when numpy is available)",
+    )
+    p.add_argument(
+        "--via", choices=["local", "serve"], default="local",
+        help="solve cells in-process or through a running serve daemon",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="serve daemon host (--via serve)")
+    p.add_argument("--port", type=int, default=8347, help="serve daemon port (--via serve)")
+    p.add_argument("--trace", default=None, help="write the JSONL exploration trace here")
+    p.add_argument("--json", default=None, help="write the full report as JSON here")
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the explore/v1 record in the unified metrics schema",
+    )
+    p.set_defaults(func=cmd_explore)
 
     p = sub.add_parser("unfold", help="unfold a graph and save it as JSON")
     p.add_argument("graph", help=f"benchmark key ({', '.join(BENCHMARKS)}) or JSON path")

@@ -1,0 +1,112 @@
+"""The Pareto frontier over objective points, one per benchmark.
+
+The frontier is the Pareto set over ``(period_ns, cost)`` with a
+register annotation: each non-dominated ``(period, cost)`` pair keeps
+the *minimum* register count any cell achieved there (and the cells
+that achieved it).  Registers are not a third domination axis — the
+solver-free register bound is far below what schedules achieve, so
+3-axis pruning would never fire — but they are still part of the
+reported point and still guarded exactly:
+
+* a point **strictly dominates** another when its ``(period, cost)`` is
+  componentwise ``<=`` and not equal;
+* a cell is **prunable** when an achieved point strictly dominates the
+  cell's lower-bound point, or ties it exactly with registers at or
+  below the cell's register bound.
+
+Soundness (what the property tests re-solve pruned cells to verify):
+a pruned cell's true outcome has ``period >= lb_period``, ``cost ==
+lb_cost`` and ``registers >= lb_registers``, so a strict blocker
+strictly dominates the outcome too — it can neither enter the frontier
+nor improve any annotation — and a tie blocker already carries registers
+at or below anything the cell could achieve.  Blockers removed from the
+frontier later are only ever replaced by points that cover them, so the
+license transfers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.explore.space import Point
+
+#: The domination key of a point.
+def _pc(p: Point) -> Tuple:
+    return (p.period_ns, p.cost)
+
+
+def dominates(p: Point, q: Point) -> bool:
+    """``p`` makes ``q`` redundant: at least as good on every axis
+    (registers included) and not the same point."""
+    return (
+        p != q
+        and p.period_ns <= q.period_ns
+        and p.cost <= q.cost
+        and p.registers <= q.registers
+    )
+
+
+def strictly_dominates(p: Point, q: Point) -> bool:
+    """Strict ``(period, cost)`` domination — the frontier's membership
+    (and the pruner's skip) criterion."""
+    return p.period_ns <= q.period_ns and p.cost <= q.cost and _pc(p) != _pc(q)
+
+
+class ParetoFrontier:
+    """Mutable frontier; offers fold in, dominated points fall out."""
+
+    def __init__(self) -> None:
+        # (period, cost) -> (best registers, achieving labels)
+        self._points: Dict[Tuple, Tuple[Point, List[str]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def offer(self, point: Point, label: str) -> str:
+        """Fold one achieved point in.
+
+        Returns ``"added"`` (new non-dominated ``(period, cost)``),
+        ``"improved"`` (tied an existing pair with fewer registers — the
+        annotation tightens and the label takes over), ``"equal"``
+        (tied with no register win — the label joins the achievers), or
+        ``"dominated"``.
+        """
+        key = _pc(point)
+        existing = self._points.get(key)
+        if existing is not None:
+            best, labels = existing
+            if point.registers < best.registers:
+                self._points[key] = (point, [label])
+                return "improved"
+            labels.append(label)
+            return "equal"
+        for other, _labels in self._points.values():
+            if strictly_dominates(other, point):
+                return "dominated"
+        for k in [k for k, (other, _l) in self._points.items() if strictly_dominates(point, other)]:
+            del self._points[k]
+        self._points[key] = (point, [label])
+        return "added"
+
+    def blocker(self, lower_bound: Point) -> Optional[Point]:
+        """An achieved point licensing the prune of the cell whose
+        lower-bound point this is: a strict dominator of the bound, or an
+        exact ``(period, cost)`` tie whose registers are at or below the
+        cell's register bound.  Deterministic: the smallest such point."""
+        covering = [
+            p
+            for p, _labels in self._points.values()
+            if strictly_dominates(p, lower_bound)
+            or (_pc(p) == _pc(lower_bound) and p.registers <= lower_bound.registers)
+        ]
+        return min(covering) if covering else None
+
+    def points(self) -> List[Tuple[Point, List[str]]]:
+        """Frontier points in canonical (ascending tuple) order."""
+        return [
+            (p, list(labels))
+            for p, labels in sorted(self._points.values(), key=lambda item: item[0])
+        ]
+
+    def point_set(self) -> List[Point]:
+        return sorted(p for p, _labels in self._points.values())

@@ -1,0 +1,115 @@
+"""The JSONL exploration trace: every decision the explorer made.
+
+Line 1 is a header object (``schema``, mode, counters stub); every
+following line is one event — ``solved`` (cell, point, source, frontier
+verdict), ``pruned`` (cell, its lower bound, the blocking achieved
+point) or the closing ``summary`` (final counters).  The trace is an
+audit log: the soundness tests replay ``pruned`` events by re-solving
+the cells and checking the blocker still covers the real outcome, and
+``rotsched profile --input trace.jsonl`` renders it (the header's
+``schema`` key is how profile tells an exploration trace from a span
+trace).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO, Union
+
+from repro.explore.space import ExploreError, Point
+
+EXPLORE_TRACE_SCHEMA = "repro.explore/trace/v1"
+
+
+def write_explore_trace(report, out: Union[str, TextIO]) -> int:
+    """Write a report's event log as JSONL; returns the event count."""
+    if isinstance(out, str):
+        with open(out, "w", encoding="utf-8") as fh:
+            return write_explore_trace(report, fh)
+    header = {
+        "schema": EXPLORE_TRACE_SCHEMA,
+        "mode": report.mode,
+        "cells_total": len(report.cells),
+    }
+    out.write(json.dumps(header, sort_keys=True) + "\n")
+    for event in report.events:
+        out.write(json.dumps(event, sort_keys=True) + "\n")
+    return len(report.events)
+
+
+def read_explore_trace(path: Union[str, TextIO]) -> Dict[str, Any]:
+    """Parse a trace file back into ``{"header": ..., "events": [...]}``."""
+    if isinstance(path, str):
+        with open(path, "r", encoding="utf-8") as fh:
+            return read_explore_trace(fh)
+    lines = [line for line in (raw.strip() for raw in path) if line]
+    if not lines:
+        raise ExploreError("empty exploration trace")
+    header = json.loads(lines[0])
+    if header.get("schema") != EXPLORE_TRACE_SCHEMA:
+        raise ExploreError(
+            f"not an exploration trace (schema {header.get('schema')!r}, "
+            f"want {EXPLORE_TRACE_SCHEMA!r})"
+        )
+    return {"header": header, "events": [json.loads(line) for line in lines[1:]]}
+
+
+def is_explore_trace(path: str) -> bool:
+    """Cheap sniff: does this JSONL file lead with our schema header?"""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline().strip()
+        return bool(first) and json.loads(first).get("schema") == EXPLORE_TRACE_SCHEMA
+    except (OSError, ValueError):
+        return False
+
+
+def render_explore_trace(trace: Dict[str, Any], top: int = 10) -> str:
+    """Human summary of a trace (the ``rotsched profile`` view)."""
+    header = trace["header"]
+    events = trace["events"]
+    solved = [e for e in events if e.get("event") == "solved"]
+    pruned = [e for e in events if e.get("event") == "pruned"]
+    summaries = [e for e in events if e.get("event") == "summary"]
+    lines: List[str] = [
+        f"exploration trace: mode={header.get('mode')} "
+        f"cells={header.get('cells_total')} "
+        f"solved={len(solved)} pruned={len(pruned)}"
+    ]
+    if summaries:
+        counters = summaries[-1].get("counters", {})
+        lines.append(
+            "counters: " + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+        )
+    sources: Dict[str, int] = {}
+    for e in solved:
+        sources[e.get("source", "?")] = sources.get(e.get("source", "?"), 0) + 1
+    if sources:
+        lines.append(
+            "solve sources: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(sources.items()))
+        )
+    slow = sorted(solved, key=lambda e: -float(e.get("elapsed", 0.0)))[:top]
+    if slow:
+        lines.append(f"slowest {len(slow)} solve(s):")
+        for e in slow:
+            cell = e.get("cell", {})
+            point = Point.from_json(e["point"]) if "point" in e else None
+            lines.append(
+                f"  {float(e.get('elapsed', 0.0)) * 1000.0:8.1f} ms  "
+                f"{cell.get('bench')}@{cell.get('adders')}A{cell.get('mults')}M"
+                f"{'p' if cell.get('pipelined') else ''}/{cell.get('clock_ns')}ns"
+                f" J{cell.get('unfold')} [{e.get('source')}]"
+                + (f" -> {point.render()}" if point else "")
+            )
+    if pruned:
+        lines.append(f"first {min(top, len(pruned))} prune(s):")
+        for e in pruned[:top]:
+            cell = e.get("cell", {})
+            lines.append(
+                f"  {e.get('kind')}: {cell.get('bench')}@{cell.get('adders')}A"
+                f"{cell.get('mults')}M/{cell.get('clock_ns')}ns "
+                f"lb={Point.from_json(e['lb_point']).render()} "
+                f"blocked by {Point.from_json(e['blocker']).render()}"
+            )
+    return "\n".join(lines)

@@ -16,19 +16,31 @@ Four pieces, all stdlib-only:
 """
 
 from repro.obs.export import Trace, TraceError, parse_trace, read_trace, validate_trace, write_trace
-from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry, engine_metrics, render_metrics
+from repro.obs.metrics import (
+    EXPLORE_COUNTERS,
+    EXPLORE_RECORD,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    engine_metrics,
+    explore_metrics,
+    render_metrics,
+)
 from repro.obs.perfcheck import (
+    MIN_EXPLORE_SPEEDUP,
     MIN_SERVE_SPEEDUP,
     BatchCell,
+    ExploreCell,
     GoldenCell,
     IncrementalCell,
     PerfReport,
     VectorHeadlineCell,
     ServeCell,
+    load_explore_cells,
     load_golden_cells,
     load_incremental_cells,
     load_serve_cells,
     load_vector_cells,
+    measure_explore_grid,
     measure_serve_workload,
     run_perfcheck,
 )
@@ -50,8 +62,10 @@ __all__ = [
     "METRICS_SCHEMA",
     "TRACE_SCHEMA",
     "BatchCell",
+    "ExploreCell",
     "GoldenCell",
     "IncrementalCell",
+    "MIN_EXPLORE_SPEEDUP",
     "MIN_SERVE_SPEEDUP",
     "ServeCell",
     "MetricsRegistry",
@@ -69,10 +83,15 @@ __all__ = [
     "current",
     "deactivate",
     "engine_metrics",
+    "explore_metrics",
+    "EXPLORE_COUNTERS",
+    "EXPLORE_RECORD",
+    "load_explore_cells",
     "load_golden_cells",
     "load_incremental_cells",
     "load_serve_cells",
     "load_vector_cells",
+    "measure_explore_grid",
     "measure_serve_workload",
     "parse_trace",
     "profile_of",

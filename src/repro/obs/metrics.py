@@ -154,6 +154,42 @@ def engine_metrics(
     return reg.as_dict()
 
 
+#: Record tag of an exploration metrics snapshot.
+EXPLORE_RECORD = "explore/v1"
+
+#: The counters every ``explore/v1`` record must carry (in this order).
+EXPLORE_COUNTERS = (
+    "cells_total",
+    "solved",
+    "pruned_bound",
+    "pruned_dominated",
+    "seeded_warm",
+    "steal_count",
+    "frontier_size",
+)
+
+
+def explore_metrics(
+    counters: Dict[str, int],
+    mode: str = "explore",
+    elapsed: Optional[float] = None,
+) -> Dict[str, Any]:
+    """An ``explore/v1`` record in the unified metrics schema.
+
+    ``counters`` is an :class:`repro.explore.ExploreReport` counter dict;
+    the :data:`EXPLORE_COUNTERS` are always present (zero-filled), any
+    further keys (``dedup_hits``, ``rounds``) ride along as extras.
+    """
+    reg = MetricsRegistry("repro.explore", record=EXPLORE_RECORD, mode=mode)
+    for key in EXPLORE_COUNTERS:
+        reg.set_counter(key, int(counters.get(key, 0)))
+    for key in sorted(set(counters) - set(EXPLORE_COUNTERS)):
+        reg.set_extra(key, int(counters[key]))
+    if elapsed is not None:
+        reg.observe("explore", elapsed)
+    return reg.as_dict()
+
+
 def render_metrics(snapshot: Dict[str, Any], indent: str = "  ") -> str:
     """Human-readable one-value-per-line rendering of a snapshot."""
     lines = [f"metrics [{snapshot.get('source', '?')}]"]

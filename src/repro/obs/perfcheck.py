@@ -76,6 +76,14 @@ SERVE_BASELINE = "BENCH_serve.json"
 #: many times faster than solving every request sequentially, uncached.
 MIN_SERVE_SPEEDUP = 5.0
 
+#: Committed design-space-explorer envelope (written by
+#: ``benchmarks/bench_explore.py``).
+EXPLORE_BASELINE = "BENCH_explore.json"
+
+#: The feedback-guided explorer must reach the exhaustive sweep's exact
+#: Pareto frontiers at least this many times faster on the headline grid.
+MIN_EXPLORE_SPEEDUP = 3.0
+
 
 @dataclass(frozen=True)
 class GoldenCell:
@@ -270,6 +278,53 @@ class ServeResult:
         return self.uncached_seconds / self.serve_seconds if self.serve_seconds else float("inf")
 
 
+@dataclass(frozen=True)
+class ExploreCell:
+    """The pinned explore-vs-exhaustive acceptance cell of
+    ``BENCH_explore.json``.
+
+    ``cells`` holds the headline grid itself (one canonical JSON string
+    per :class:`~repro.explore.CellSpec`) so perfcheck replays exactly
+    the committed design space; ``frontiers`` pins the per-benchmark
+    Pareto point lists both passes must reproduce — the equality oracle.
+    """
+
+    source: str
+    grid: str
+    cells: Tuple[str, ...]
+    explore_seconds: float
+    exhaustive_seconds: float
+    speedup: float
+    counters: Tuple[Tuple[str, int], ...]
+    frontiers: str
+
+    def label(self) -> str:
+        return f"explore:{self.grid}[{len(self.cells)} cells]"
+
+
+@dataclass
+class ExploreResult:
+    """Outcome of replaying the explorer against the exhaustive sweep."""
+
+    cell: ExploreCell
+    explore_seconds: float = 0.0
+    exhaustive_seconds: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.exhaustive_seconds / self.explore_seconds
+            if self.explore_seconds
+            else float("inf")
+        )
+
+
 @dataclass
 class PerfReport:
     """Aggregate perfcheck outcome."""
@@ -282,6 +337,7 @@ class PerfReport:
     incremental: List[IncrementalResult] = field(default_factory=list)
     vector: List[Any] = field(default_factory=list)
     serve: List[ServeResult] = field(default_factory=list)
+    explore: List[ExploreResult] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -290,6 +346,7 @@ class PerfReport:
             and all(r.ok for r in self.incremental)
             and all(r.ok for r in self.vector)
             and all(r.ok for r in self.serve)
+            and all(r.ok for r in self.explore)
             and bool(self.results)
         )
 
@@ -317,6 +374,12 @@ class PerfReport:
             head += (
                 f"; serve {len(self.serve) - sbad}/{len(self.serve)} "
                 f"cache cells ok"
+            )
+        if self.explore:
+            ebad = sum(1 for r in self.explore if not r.ok)
+            head += (
+                f"; explore {len(self.explore) - ebad}/{len(self.explore)} "
+                f"grid cells ok"
             )
         if self.skipped_baselines:
             head += f"; missing baselines skipped: {', '.join(self.skipped_baselines)}"
@@ -369,6 +432,15 @@ class PerfReport:
                 f"served {r.serve_seconds:.4f}s  "
                 f"uncached {r.uncached_seconds:.4f}s  ({r.speedup:.1f}x, "
                 f"hit rate {r.hit_rate:.0%})"
+            )
+            for p in r.problems:
+                lines.append(f"       - {p}")
+        for r in self.explore:
+            status = "ok" if r.ok else "FAIL"
+            lines.append(
+                f"  {status:<4} {r.cell.label():<28} "
+                f"explored {r.explore_seconds:.4f}s  "
+                f"exhaustive {r.exhaustive_seconds:.4f}s  ({r.speedup:.1f}x)"
             )
             for p in r.problems:
                 lines.append(f"       - {p}")
@@ -515,6 +587,122 @@ def load_serve_cells(path: str) -> List[ServeCell]:
     if not cells:
         raise ReproError(f"no serve acceptance cells found in {path}")
     return cells
+
+
+def load_explore_cells(path: str) -> List[ExploreCell]:
+    """Extract the pinned headline grid cell from ``BENCH_explore.json``."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    cells: List[ExploreCell] = []
+    source = os.path.basename(path)
+    needed = {"grid", "cells", "explore_seconds", "exhaustive_seconds",
+              "speedup", "counters", "frontiers"}
+    for entry in data.get("benchmarks", ()):
+        info = entry.get("extra_info") or {}
+        if info.get("headline") != "explore_grid" or not needed <= info.keys():
+            continue
+        cells.append(
+            ExploreCell(
+                source=source,
+                grid=info["grid"],
+                cells=tuple(
+                    json.dumps(c, sort_keys=True) for c in info["cells"]
+                ),
+                explore_seconds=float(info["explore_seconds"]),
+                exhaustive_seconds=float(info["exhaustive_seconds"]),
+                speedup=float(info["speedup"]),
+                counters=tuple(
+                    (k, int(v)) for k, v in sorted(info["counters"].items())
+                ),
+                frontiers=json.dumps(info["frontiers"], sort_keys=True),
+            )
+        )
+    if not cells:
+        raise ReproError(f"no explore acceptance cells found in {path}")
+    return cells
+
+
+def measure_explore_grid(specs, repeats: int):
+    """Run the explorer and the exhaustive sweep over one grid of cells.
+
+    Returns ``(explore_seconds, exhaustive_seconds, explore_report,
+    exhaustive_report)`` — min-of-N *wall clock* on both sides (the
+    explorer is an orchestration layer: warm-chain hops, cohort stacking
+    and pool plumbing are real elapsed time, not just CPU).  Every repeat
+    starts from cleared bound/graph caches and a fresh solver so later
+    runs cannot ride earlier runs' memos.  Shared by
+    ``benchmarks/bench_explore.py`` (which commits the envelope) and
+    :func:`run_perfcheck` (which replays it).
+    """
+    from repro.explore import explore
+    from repro.explore.bounds import clear_caches
+
+    explore_best = exhaustive_best = float("inf")
+    explore_report = exhaustive_report = None
+    for _ in range(max(repeats, 1)):
+        clear_caches()
+        rep = explore(specs, mode="exhaustive", workers=1)
+        if rep.elapsed < exhaustive_best:
+            exhaustive_best = rep.elapsed
+            exhaustive_report = rep
+        clear_caches()
+        rep = explore(specs, mode="explore", workers=1)
+        if rep.elapsed < explore_best:
+            explore_best = rep.elapsed
+            explore_report = rep
+    return explore_best, exhaustive_best, explore_report, exhaustive_report
+
+
+def _measure_explore_cell(
+    cell: ExploreCell, repeats: int, tolerance: float
+) -> ExploreResult:
+    """Replay the headline grid and re-run the frontier-equality oracle."""
+    from repro.explore import CellSpec
+
+    specs = [CellSpec.from_json(json.loads(raw)) for raw in cell.cells]
+    explore_s, exhaustive_s, erep, xrep = measure_explore_grid(specs, repeats)
+    er = ExploreResult(
+        cell,
+        explore_seconds=explore_s,
+        exhaustive_seconds=exhaustive_s,
+        counters=dict(erep.counters),
+    )
+    pinned = dict(cell.counters)
+    for name in sorted(pinned):
+        measured = erep.counters.get(name, 0)
+        if measured != pinned[name]:
+            er.problems.append(
+                f"counter delta: {name} {measured} != pinned {pinned[name]}"
+            )
+    explored = {
+        bench: [p.as_json() for p in erep.frontier_points(bench)]
+        for bench in sorted(erep.frontiers)
+    }
+    exhausted = {
+        bench: [p.as_json() for p in xrep.frontier_points(bench)]
+        for bench in sorted(xrep.frontiers)
+    }
+    if explored != exhausted:
+        er.problems.append(
+            "oracle: explored frontier != exhaustive frontier "
+            f"(benches {sorted(set(explored) ^ set(exhausted)) or 'same, points differ'})"
+        )
+    if json.dumps(explored, sort_keys=True) != cell.frontiers:
+        er.problems.append("counter delta: frontiers drifted from the pinned point lists")
+    required = MIN_EXPLORE_SPEEDUP / (1.0 + tolerance)
+    if er.speedup < required:
+        er.problems.append(
+            f"explore speedup {er.speedup:.2f}x below required "
+            f"{MIN_EXPLORE_SPEEDUP:.1f}x/{1.0 + tolerance:.2f} = {required:.2f}x "
+            f"(explored {explore_s:.4f}s, exhaustive {exhaustive_s:.4f}s)"
+        )
+    limit = cell.explore_seconds * (1.0 + tolerance)
+    if explore_s > limit:
+        er.problems.append(
+            f"wall-time regression: explored {explore_s:.4f}s > "
+            f"{cell.explore_seconds:.4f}s * {1.0 + tolerance:.2f} = {limit:.4f}s"
+        )
+    return er
 
 
 def measure_serve_workload(workload_repeats: int, repeats: int):
@@ -878,6 +1066,7 @@ def run_perfcheck(
     incremental_baseline: Optional[str] = INCREMENTAL_BASELINE,
     vector_baseline: Optional[str] = VECTOR_BASELINE,
     serve_baseline: Optional[str] = SERVE_BASELINE,
+    explore_baseline: Optional[str] = EXPLORE_BASELINE,
 ) -> PerfReport:
     """Re-run every pinned golden cell and compare against its envelope.
 
@@ -904,6 +1093,15 @@ def run_perfcheck(
             ``MIN_SERVE_SPEEDUP`` cached-vs-uncached floor, pin the
             deterministic hit rate, and re-run the cached==fresh
             differential oracle on every served envelope.
+        explore_baseline: filename of the committed design-space-explorer
+            envelope (``None`` disables the explore tier).  Its headline
+            grid gates the ``MIN_EXPLORE_SPEEDUP`` explored-vs-exhaustive
+            wall-time floor with per-benchmark frontier equality as the
+            oracle and the exploration counters pinned exactly.  The
+            tier replays the full committed grid, so it is skipped on
+            ``--smoke`` (``rotsched gate`` runs its own small explore
+            smoke instead) and skipped (not failed) without numpy — the
+            pinned counters assume the vector backend's cohort stacking.
     """
     from repro.core.vector import have_numpy
 
@@ -965,5 +1163,16 @@ def run_perfcheck(
         else:
             for scell in load_serve_cells(path):
                 report.serve.append(_measure_serve_cell(scell, repeats, tolerance))
+    if explore_baseline is not None and not smoke:
+        path = os.path.join(root, explore_baseline)
+        if not os.path.exists(path):
+            report.skipped_baselines.append(explore_baseline)
+        elif not numpy_ok:
+            report.skipped_baselines.append(f"{explore_baseline} (numpy unavailable)")
+        else:
+            for ecell in load_explore_cells(path):
+                report.explore.append(
+                    _measure_explore_cell(ecell, repeats, tolerance)
+                )
     report.elapsed = time.perf_counter() - t0
     return report

@@ -111,6 +111,11 @@ class LoadgenReport:
     seconds: float = 0.0
     latencies_ms: List[float] = field(default_factory=list)
     cache_levels: Dict[str, int] = field(default_factory=dict)
+    #: Per-cache-tier latency attribution: every successful request's
+    #: latency, keyed by the cache level that served it — so warm-path
+    #: wins (memory/disk hits vs fresh solves) show up as numbers, not
+    #: just counts.
+    level_latencies_ms: Dict[str, List[float]] = field(default_factory=dict)
 
     @property
     def solves_per_sec(self) -> float:
@@ -123,13 +128,29 @@ class LoadgenReport:
         )
         return hits / self.requests if self.requests else 0.0
 
-    def percentile(self, q: float) -> float:
-        """Latency percentile in milliseconds (nearest-rank)."""
-        if not self.latencies_ms:
+    def percentile(self, q: float, latencies: Optional[List[float]] = None) -> float:
+        """Latency percentile in milliseconds (nearest-rank); pass a
+        per-tier list from ``level_latencies_ms`` to attribute by tier."""
+        sample = self.latencies_ms if latencies is None else latencies
+        if not sample:
             return 0.0
-        ordered = sorted(self.latencies_ms)
+        ordered = sorted(sample)
         rank = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
+
+    def tier_summary(self) -> str:
+        """Per-cache-tier latency attribution, one clause per tier."""
+        if not self.level_latencies_ms:
+            return "no per-tier data"
+        clauses = []
+        for level in sorted(self.level_latencies_ms):
+            sample = self.level_latencies_ms[level]
+            clauses.append(
+                f"{level} n={len(sample)} "
+                f"p50={self.percentile(50, sample):.1f}ms "
+                f"max={max(sample):.1f}ms"
+            )
+        return ", ".join(clauses)
 
     def summary(self) -> str:
         return (
@@ -137,7 +158,8 @@ class LoadgenReport:
             f"({self.solves_per_sec:.1f} solves/sec), "
             f"hit rate {self.hit_rate:.0%}, "
             f"p50 {self.percentile(50):.1f}ms, p99 {self.percentile(99):.1f}ms, "
-            f"{self.errors} error(s); levels {dict(sorted(self.cache_levels.items()))}"
+            f"{self.errors} error(s); levels {dict(sorted(self.cache_levels.items()))}; "
+            f"tiers: {self.tier_summary()}"
         )
 
 
@@ -176,6 +198,7 @@ def run_loadgen(
                     else:
                         level = envelope.get("cache", "?")
                         report.cache_levels[level] = report.cache_levels.get(level, 0) + 1
+                        report.level_latencies_ms.setdefault(level, []).append(latency)
         finally:
             client.close()
 

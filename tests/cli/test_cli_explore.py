@@ -1,0 +1,55 @@
+"""The ``rotsched explore`` command and explore-trace profile input."""
+
+import json
+
+from repro.cli import main
+
+
+def test_explore_prints_frontier_and_counters(capsys):
+    assert main(["explore", "diffeq", "-c", "1A1M", "2A2M", "--clocks", "40", "100"]) == 0
+    out = capsys.readouterr().out
+    assert "diffeq" in out
+    assert "cells_total=4" in out
+    assert "frontier_size=" in out
+
+
+def test_exhaustive_mode(capsys):
+    assert main([
+        "explore", "diffeq", "-c", "1A1M", "--clocks", "40", "100",
+        "--mode", "exhaustive",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "pruned_bound=0" in out
+
+
+def test_json_output(tmp_path):
+    out = tmp_path / "report.json"
+    assert main([
+        "explore", "diffeq", "-c", "1A1M", "2A2M", "--json", str(out),
+    ]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "explore"
+    assert payload["counters"]["cells_total"] == 6  # 2 configs x 3 clocks
+    assert "diffeq" in payload["frontiers"]
+
+
+def test_metrics_output(capsys):
+    assert main([
+        "explore", "diffeq", "-c", "1A1M", "--clocks", "40", "--metrics",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "record: explore/v1" in out
+    assert "counter solved = 1" in out
+
+
+def test_trace_then_profile(tmp_path, capsys):
+    trace = tmp_path / "explore.jsonl"
+    assert main([
+        "explore", "diffeq", "biquad", "-c", "1A1M", "2A2M",
+        "--clocks", "40", "100", "--trace", str(trace),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["profile", "--input", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "exploration trace" in out
+    assert "explore/v1" in out

@@ -1,0 +1,1 @@
+"""Tests for repro.explore — the Pareto design-space explorer."""

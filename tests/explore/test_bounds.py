@@ -1,0 +1,48 @@
+"""Solver-free lower bounds: cycles, registers, and their cell points."""
+
+import pytest
+
+from repro.core.scheduler import rotation_schedule
+from repro.binding.lifetimes import register_requirement
+from repro.explore import CellSpec, cell_bound, cell_cost, cell_model
+from repro.explore.bounds import bound_graph, clear_caches
+
+
+GRID = [
+    CellSpec("diffeq", 1, 1, clock_ns=50),
+    CellSpec("diffeq", 2, 2, clock_ns=100),
+    CellSpec("biquad", 2, 1, clock_ns=40),
+    CellSpec("biquad", 1, 1, clock_ns=50, unfold=2),
+]
+
+
+@pytest.mark.parametrize("spec", GRID, ids=lambda s: s.label())
+def test_bound_never_exceeds_achieved(spec):
+    """Soundness property: the cell bound is a true lower bound on every
+    axis of the achieved objective point."""
+    bound = cell_bound(spec)
+    result = rotation_schedule(
+        bound_graph(spec), cell_model(spec), heuristic=spec.heuristic, backend="flat"
+    )
+    registers = register_requirement(result.schedule, result.retiming, result.length)
+    assert bound.lb_cycles <= result.length
+    assert bound.lb_point.cost == cell_cost(spec)
+    achieved_period = spec.clock_ns * result.length / spec.unfold
+    assert bound.lb_point.period_ns <= achieved_period
+    assert bound.lb_point.registers <= registers / spec.unfold
+
+
+def test_critical_nodes_name_base_nodes():
+    spec = CellSpec("biquad", 1, 1, clock_ns=50, unfold=2)
+    crit = cell_bound(spec).critical_nodes
+    assert crit  # the binding cycle exists
+    base_nodes = {str(v) for v in bound_graph(CellSpec("biquad", 1, 1)).nodes}
+    assert crit <= base_nodes  # unfolded copies fold back to base names
+
+
+def test_bounds_are_cached():
+    clear_caches()
+    spec = GRID[0]
+    assert cell_bound(spec) is cell_bound(spec)
+    assert bound_graph(spec) is bound_graph(spec)
+    clear_caches()

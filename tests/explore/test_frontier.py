@@ -1,0 +1,85 @@
+"""The annotated 2D Pareto frontier: offers, domination, prune licenses."""
+
+from fractions import Fraction
+
+from repro.explore import ParetoFrontier, Point, dominates, strictly_dominates
+
+
+def pt(period, cost, regs):
+    return Point(Fraction(period), cost, Fraction(regs))
+
+
+class TestDomination:
+    def test_dominates_is_three_axis(self):
+        assert dominates(pt(100, 4, 5), pt(120, 4, 5))
+        assert dominates(pt(100, 4, 5), pt(100, 4, 6))
+        assert not dominates(pt(100, 4, 5), pt(100, 4, 5))  # equal
+        # better period but worse registers: no 3-axis domination
+        assert not dominates(pt(100, 4, 7), pt(120, 4, 5))
+
+    def test_strict_domination_ignores_registers(self):
+        assert strictly_dominates(pt(100, 4, 9), pt(120, 4, 5))
+        assert not strictly_dominates(pt(100, 4, 5), pt(100, 4, 9))  # (p,c) tie
+        assert not strictly_dominates(pt(100, 5, 5), pt(120, 4, 9))
+
+
+class TestOffer:
+    def test_added_then_dominated(self):
+        f = ParetoFrontier()
+        assert f.offer(pt(100, 4, 5), "a") == "added"
+        assert f.offer(pt(120, 4, 3), "b") == "dominated"
+        assert len(f) == 1
+
+    def test_new_point_evicts_dominated(self):
+        f = ParetoFrontier()
+        f.offer(pt(120, 4, 5), "old")
+        assert f.offer(pt(100, 4, 5), "new") == "added"
+        assert f.point_set() == [pt(100, 4, 5)]
+
+    def test_incomparable_points_coexist(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 9, 5), "fast")
+        assert f.offer(pt(200, 4, 5), "cheap") == "added"
+        assert len(f) == 2
+
+    def test_improved_tightens_register_annotation(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 4, 7), "a")
+        assert f.offer(pt(100, 4, 5), "b") == "improved"
+        ((point, labels),) = f.points()
+        assert point.registers == 5 and labels == ["b"]
+
+    def test_equal_joins_achievers(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 4, 5), "a")
+        assert f.offer(pt(100, 4, 5), "b") == "equal"
+        assert f.offer(pt(100, 4, 6), "c") == "equal"  # no register win
+        ((point, labels),) = f.points()
+        assert point.registers == 5 and labels == ["a", "b", "c"]
+
+
+class TestBlocker:
+    def test_strict_dominator_licenses_prune(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 4, 9), "a")
+        # lower bound costs the same but can never beat 100 ns
+        assert f.blocker(pt(120, 4, 2)) == pt(100, 4, 9)
+
+    def test_period_cost_tie_needs_register_cover(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 4, 5), "a")
+        # exact (period, cost) tie: licensed only when the achieved
+        # registers are at or below the cell's register bound
+        assert f.blocker(pt(100, 4, 6)) == pt(100, 4, 5)
+        assert f.blocker(pt(100, 4, 3)) is None
+
+    def test_no_blocker_when_bound_could_improve(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 9, 5), "expensive")
+        assert f.blocker(pt(150, 4, 2)) is None  # cheaper config, no cover
+
+    def test_blocker_is_deterministic_minimum(self):
+        f = ParetoFrontier()
+        f.offer(pt(100, 9, 5), "a")
+        f.offer(pt(150, 4, 5), "b")
+        assert f.blocker(pt(200, 9, 1)) == pt(100, 9, 5)

@@ -1,0 +1,61 @@
+"""Work-stealing pool: parity with inline execution, error propagation."""
+
+import pytest
+
+from repro.explore import CellSpec, InlinePool, WorkStealingPool, build_grid, make_pool
+from repro.explore.pool import execute_chunk
+from repro.explore.runner import CellSolver
+from repro.explore.space import ExploreError
+
+
+def _chunks():
+    grid = build_grid(["diffeq", "biquad"], ["1A1M", "2A1M"], clocks=[40, 100])
+    fams = {}
+    for spec in grid:
+        fams.setdefault((spec.bench, spec.clock_ns), []).append(spec)
+    return [("family", cells) for cells in fams.values()]
+
+
+def test_make_pool_selects_by_worker_count():
+    one = make_pool(1, None)
+    assert isinstance(one, InlinePool)
+    one.close()
+    two = make_pool(2, "flat")
+    try:
+        assert isinstance(two, WorkStealingPool)
+    finally:
+        two.close()
+
+
+def test_worker_pool_matches_inline():
+    chunks = _chunks()
+    inline = InlinePool(backend="flat")
+    try:
+        want = inline.run(chunks)
+    finally:
+        inline.close()
+    pool = WorkStealingPool(workers=2, backend="flat")
+    try:
+        got = pool.run(chunks)
+        assert pool.steal_count >= 0
+    finally:
+        pool.close()
+    assert len(got) == len(want)
+    for got_batch, want_batch in zip(got, want):
+        assert [o.spec for o in got_batch] == [o.spec for o in want_batch]
+        assert [o.point for o in got_batch] == [o.point for o in want_batch]
+
+
+def test_worker_error_raises_in_parent():
+    pool = WorkStealingPool(workers=2, backend="flat")
+    try:
+        with pytest.raises(ExploreError):
+            # an unregistered benchmark explodes inside the worker
+            pool.run([("cold", [CellSpec("no-such-bench", 1, 1)])])
+    finally:
+        pool.close()
+
+
+def test_execute_chunk_rejects_unknown_kind():
+    with pytest.raises(ExploreError):
+        execute_chunk(CellSolver(backend="flat"), "weird", [CellSpec("diffeq", 1, 1)])

@@ -1,0 +1,134 @@
+"""Cell execution parity: cold vs warm vs memo vs cohort vs serve."""
+
+import asyncio
+
+import pytest
+
+from repro.core.engine import BACKENDS
+from repro.core.scheduler import rotation_schedule
+from repro.core.session import MutableSchedulingSession
+from repro.core.vector._compat import have_numpy
+from repro.explore import CellSolver, CellSpec, ServeCellSolver, run_grid
+from repro.explore.bounds import bound_graph
+from repro.explore.space import cell_model, with_counts
+from repro.qa.oracles import check_parity
+
+
+def _needs_numpy(backend):
+    if backend == "vector" and not have_numpy():
+        pytest.skip("numpy unavailable")
+
+
+class TestWarmSeedingParity:
+    """The golden-parity idiom extended to warm chains: a session seeded
+    from a neighboring resource config must be bit-identical to a cold
+    solve of the target config — on every backend."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_warm_equals_cold_on_backend(self, backend):
+        _needs_numpy(backend)
+        seed = CellSpec("diffeq", 1, 1, clock_ns=50)
+        target = with_counts(seed, 2, 1)
+        session = MutableSchedulingSession(
+            bound_graph(seed),
+            cell_model(seed),
+            heuristic=seed.heuristic,
+            backend=backend,
+        )
+        session.resolve(mode="solve")
+        session.set_resource_counts({"adder": target.adders, "mult": target.mults})
+        warm = session.resolve(mode="solve")
+        cold = rotation_schedule(
+            bound_graph(target),
+            cell_model(target),
+            heuristic=target.heuristic,
+            backend=backend,
+        )
+        assert not check_parity(warm, cold, f"warm vs cold [{backend}]")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_solver_warm_point_equals_cold_point(self, backend):
+        _needs_numpy(backend)
+        solver = CellSolver(backend=backend)
+        cells = [
+            CellSpec("diffeq", 1, 1, clock_ns=50),
+            CellSpec("diffeq", 2, 1, clock_ns=50),
+            CellSpec("diffeq", 2, 2, clock_ns=50),
+        ]
+        warm = run_grid(cells, solver)
+        cold = run_grid(cells, CellSolver(backend=backend), cold=True)
+        assert [o.source for o in warm] == ["solve", "warm", "warm"]
+        assert [o.point for o in warm] == [o.point for o in cold]
+
+
+class TestMemoAndCohort:
+    def test_clock_collapse_hits_memo(self):
+        solver = CellSolver(backend="flat")
+        a = solver.solve(CellSpec("diffeq", 1, 1, clock_ns=40))
+        b = solver.solve(CellSpec("diffeq", 1, 1, clock_ns=50))
+        assert b.source == "memo"
+        assert b.length == a.length and b.registers == a.registers
+        # same length, but the 40 ns cell's point is faster in ns
+        assert a.point.period_ns < b.point.period_ns
+
+    @pytest.mark.skipif(not have_numpy(), reason="solve_batch needs numpy")
+    def test_cohort_matches_individual_solves(self):
+        specs = [
+            CellSpec("diffeq", 2, 1, clock_ns=50),
+            CellSpec("biquad", 2, 1, clock_ns=50),
+            CellSpec("biquad", 2, 1, clock_ns=40),  # same solve key as above
+        ]
+        batched = CellSolver(backend="vector").solve_cohort(specs)
+        singles = [CellSolver(backend="flat").solve_cold(s) for s in specs]
+        assert [o.point for o in batched] == [o.point for o in singles]
+        assert batched[0].source == "batch"
+        assert batched[2].source == "batch-dedup"
+
+    def test_cohort_rejects_mixed_models(self):
+        from repro.explore.space import ExploreError
+
+        with pytest.raises(ExploreError):
+            CellSolver(backend="flat").solve_cohort(
+                [CellSpec("diffeq", 1, 1), CellSpec("diffeq", 2, 1)]
+            )
+
+
+class _InlineClient:
+    """ServeClient stand-in: drives an in-process service synchronously."""
+
+    def __init__(self, service):
+        self.service = service
+
+    def solve(self, payload):
+        return asyncio.run(self.service.solve(payload))
+
+    def close(self):
+        self.service.close()
+
+
+class TestServeCellSolver:
+    def test_serve_point_matches_local_and_caches(self):
+        from repro.serve import build_service
+
+        solver = ServeCellSolver(client=_InlineClient(build_service(inline=True)))
+        try:
+            spec = CellSpec("diffeq", 2, 1, clock_ns=40, unfold=2)
+            first = solver.solve(spec)
+            again = solver.solve(spec)
+        finally:
+            solver.close()
+        local = CellSolver(backend="flat").solve_cold(spec)
+        assert first.point == local.point
+        assert first.length == local.length and first.registers == local.registers
+        assert first.source == "serve:solved"
+        assert again.source == "serve:memory"
+
+    def test_payload_never_sends_clock_option(self):
+        # the daemon's "clock" option selects chained (ns-granularity)
+        # scheduling — the explorer's clock axis must travel as latencies
+        payload = ServeCellSolver(client=object()).payload(
+            CellSpec("diffeq", 2, 1, clock_ns=100)
+        )
+        assert "clock" not in payload["options"]
+        latencies = {u["name"]: u["latency"] for u in payload["config"]["units"]}
+        assert latencies == {"adder": 1, "mult": 1}

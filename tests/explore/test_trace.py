@@ -1,0 +1,66 @@
+"""Exploration trace JSONL: roundtrip, sniffing, rendering."""
+
+import json
+
+import pytest
+
+from repro.explore import (
+    EXPLORE_TRACE_SCHEMA,
+    build_grid,
+    explore,
+    is_explore_trace,
+    read_explore_trace,
+    render_explore_trace,
+    write_explore_trace,
+)
+from repro.explore.space import ExploreError
+
+
+@pytest.fixture(scope="module")
+def report():
+    return explore(
+        build_grid(["diffeq"], ["1A1M", "2A2M"], clocks=[40, 100]),
+        mode="explore",
+        round_size=2,
+    )
+
+
+def test_roundtrip(tmp_path, report):
+    path = tmp_path / "explore.jsonl"
+    count = write_explore_trace(report, str(path))
+    assert count == len(report.events)
+    trace = read_explore_trace(str(path))
+    assert trace["header"]["schema"] == EXPLORE_TRACE_SCHEMA
+    assert trace["header"]["cells_total"] == 4
+    assert len(trace["events"]) == count
+    assert trace["events"][-1]["event"] == "summary"
+    assert trace["events"][-1]["counters"] == dict(report.counters)
+
+
+def test_sniffing(tmp_path, report):
+    path = tmp_path / "explore.jsonl"
+    write_explore_trace(report, str(path))
+    assert is_explore_trace(str(path))
+    other = tmp_path / "other.jsonl"
+    other.write_text(json.dumps({"schema": "repro.obs/trace/v1"}) + "\n")
+    assert not is_explore_trace(str(other))
+    assert not is_explore_trace(str(tmp_path / "missing.jsonl"))
+
+
+def test_wrong_schema_raises(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(json.dumps({"schema": "nope/v0"}) + "\n")
+    with pytest.raises(ExploreError):
+        read_explore_trace(str(bad))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(ExploreError):
+        read_explore_trace(str(empty))
+
+
+def test_render(tmp_path, report):
+    path = tmp_path / "explore.jsonl"
+    write_explore_trace(report, str(path))
+    text = render_explore_trace(read_explore_trace(str(path)))
+    assert "exploration trace" in text
+    assert "solved" in text and "frontier_size" in text

@@ -1,0 +1,70 @@
+"""Per-cache-tier latency attribution in the loadgen report."""
+
+import asyncio
+
+from repro.serve import build_service, run_loadgen, start_server
+from repro.serve.client import LoadgenReport, demo_workload
+
+
+class TestLoadgenReportTiers:
+    def _report(self):
+        report = LoadgenReport(requests=5)
+        for level, latency in [
+            ("solved", 40.0), ("memory", 1.0), ("memory", 3.0),
+            ("disk", 8.0), ("disk", 2.0),
+        ]:
+            report.latencies_ms.append(latency)
+            report.cache_levels[level] = report.cache_levels.get(level, 0) + 1
+            report.level_latencies_ms.setdefault(level, []).append(latency)
+        return report
+
+    def test_percentile_accepts_per_tier_sample(self):
+        report = self._report()
+        assert report.percentile(50) == 3.0  # all requests
+        assert report.percentile(50, report.level_latencies_ms["memory"]) == 1.0
+        assert report.percentile(99, report.level_latencies_ms["solved"]) == 40.0
+
+    def test_tier_summary_lists_each_level(self):
+        summary = self._report().tier_summary()
+        assert "memory n=2" in summary
+        assert "solved n=1" in summary
+        assert "max=40.0ms" in summary
+        assert LoadgenReport().tier_summary() == "no per-tier data"
+
+    def test_summary_carries_tier_clause(self):
+        assert "tiers: " in self._report().summary()
+
+
+def test_run_loadgen_attributes_latency_by_tier():
+    """End to end over HTTP: every successful request's latency lands in
+    exactly one tier bucket, keyed by the cache level that served it."""
+    workload = demo_workload(
+        benchmarks=("diffeq",), configs=("1A1M",), repeats=3
+    )
+    box = {}
+
+    async def main():
+        service = build_service(inline=True)
+        server = await start_server(service, port=0)
+        port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        try:
+            box["report"] = await loop.run_in_executor(
+                None,
+                lambda: run_loadgen(port=port, workload=workload, concurrency=1),
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            service.close()
+
+    asyncio.run(main())
+    report = box["report"]
+    assert report.errors == 0, report.summary()
+    assert set(report.level_latencies_ms) == set(report.cache_levels)
+    for level, samples in report.level_latencies_ms.items():
+        assert len(samples) == report.cache_levels[level]
+    total = sum(len(s) for s in report.level_latencies_ms.values())
+    assert total == report.requests
+    # the single distinct cell: one fresh solve, the rest cache hits
+    assert report.cache_levels.get("solved") == 1
